@@ -1,0 +1,352 @@
+// Package apisense is the public facade of the APISENSE + PRIVAPI
+// reproduction: a privacy-preserving crowd-sensing platform (Haderer et
+// al., Middleware 2014).
+//
+// The platform has two halves:
+//
+//   - APISENSE — a crowd-sensing middleware: a central Hive service manages
+//     the community of devices and publishes sensing tasks written in
+//     SenseScript (a JavaScript subset); Honeycomb endpoints author tasks
+//     and collect the produced datasets; simulated devices execute the
+//     scripts behind a user-controlled privacy filter chain.
+//   - PRIVAPI — a publication middleware that picks, per release, the
+//     anonymisation strategy that maximises the declared utility objective
+//     subject to a privacy floor, with the paper's speed-smoothing
+//     mechanism as its flagship strategy.
+//
+// This package re-exports the stable surface of the internal packages so
+// that applications (see examples/) program against a single import:
+//
+//	import "apisense"
+//
+//	ds, city, _ := apisense.GenerateMobility(apisense.MobilityConfig{
+//		Seed: 1, Users: 20, Days: 7,
+//	})
+//	mw, _ := apisense.NewPrivacyMiddleware(apisense.PrivacyConfig{}, city.Center)
+//	release, selection, _ := mw.Publish(ds)
+//
+// Everything underneath lives in internal/ packages; the per-subsystem
+// documentation is on those packages (geo, trace, mobgen, poi, lppm,
+// attack, metrics, core, script, filter, device, transport, hive,
+// honeycomb, vsensor, incentive, secagg).
+package apisense
+
+import (
+	"apisense/internal/attack"
+	"apisense/internal/core"
+	"apisense/internal/device"
+	"apisense/internal/filter"
+	"apisense/internal/geo"
+	"apisense/internal/hive"
+	"apisense/internal/honeycomb"
+	"apisense/internal/incentive"
+	"apisense/internal/lppm"
+	"apisense/internal/metrics"
+	"apisense/internal/mobgen"
+	"apisense/internal/poi"
+	"apisense/internal/script"
+	"apisense/internal/secagg"
+	"apisense/internal/trace"
+	"apisense/internal/transport"
+	"apisense/internal/vsensor"
+)
+
+// ---- geodesy and mobility data ----
+
+// Core spatial and mobility-data types.
+type (
+	// Point is a WGS84 coordinate pair.
+	Point = geo.Point
+	// BBox is a latitude/longitude bounding box.
+	BBox = geo.BBox
+	// Grid partitions a bounding box into square cells.
+	Grid = geo.Grid
+	// Cell identifies one grid cell.
+	Cell = geo.Cell
+	// Record is one timestamped location fix.
+	Record = trace.Record
+	// Trajectory is one user's time-ordered records.
+	Trajectory = trace.Trajectory
+	// Dataset is a collection of trajectories.
+	Dataset = trace.Dataset
+	// Pseudonymizer replaces user identifiers with stable pseudonyms.
+	Pseudonymizer = trace.Pseudonymizer
+)
+
+// Distance returns the distance in metres between two points.
+func Distance(a, b Point) float64 { return geo.Distance(a, b) }
+
+// NewGrid builds a square-cell grid over a bounding box.
+func NewGrid(box BBox, cellMeters float64) (*Grid, error) { return geo.NewGrid(box, cellMeters) }
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset { return trace.NewDataset() }
+
+// NewPseudonymizer creates a keyed pseudonymizer.
+func NewPseudonymizer(key []byte) (*Pseudonymizer, error) { return trace.NewPseudonymizer(key) }
+
+// ReadCSV / WriteCSV / ReadJSON / WriteJSON are the dataset codecs.
+var (
+	ReadCSV   = trace.ReadCSV
+	WriteCSV  = trace.WriteCSV
+	ReadJSON  = trace.ReadJSON
+	WriteJSON = trace.WriteJSON
+)
+
+// ---- synthetic mobility ----
+
+// Mobility generation types.
+type (
+	// MobilityConfig parameterises the synthetic city generator.
+	MobilityConfig = mobgen.Config
+	// City is the generated environment plus per-user ground truth.
+	City = mobgen.City
+	// Resident is one simulated user's ground truth.
+	Resident = mobgen.Resident
+)
+
+// GenerateMobility produces a synthetic mobility dataset plus its ground
+// truth (see internal/mobgen for the behavioural model).
+func GenerateMobility(cfg MobilityConfig) (*Dataset, *City, error) { return mobgen.Generate(cfg) }
+
+// ---- points of interest and attacks ----
+
+// POI extraction and attack types.
+type (
+	// POI is an extracted point of interest.
+	POI = poi.POI
+	// POIExtractor mines POIs from a trajectory.
+	POIExtractor = poi.Extractor
+	// StayPointConfig parameterises stay-point detection.
+	StayPointConfig = poi.StayPointConfig
+	// RecoveryResult reports a POI-recovery attack.
+	RecoveryResult = attack.RecoveryResult
+	// LinkResult reports a re-identification attack.
+	LinkResult = attack.LinkResult
+)
+
+// NewStayPoints returns the classic stay-point POI extractor.
+func NewStayPoints(cfg StayPointConfig) (POIExtractor, error) { return poi.NewStayPoints(cfg) }
+
+// NewPOIRecovery builds the POI-retrieval attack.
+func NewPOIRecovery(e POIExtractor, mergeRadius, matchRadius float64) (*attack.POIRecovery, error) {
+	return attack.NewPOIRecovery(e, mergeRadius, matchRadius)
+}
+
+// NewLinker builds the POI-profile re-identification attack.
+func NewLinker(e POIExtractor, mergeRadius float64) (*attack.Linker, error) {
+	return attack.NewLinker(e, mergeRadius)
+}
+
+// ---- protection mechanisms ----
+
+// Mechanism transforms a trajectory into its protected counterpart.
+type Mechanism = lppm.Mechanism
+
+// Identity is the no-protection baseline mechanism.
+type Identity = lppm.Identity
+
+// NewSpeedSmoothing returns the paper's speed-smoothing mechanism
+// (resampling step in metres, points trimmed per extremity; trim < 0
+// selects the default).
+func NewSpeedSmoothing(epsilonMeters float64, trim int) (Mechanism, error) {
+	return lppm.NewSpeedSmoothing(epsilonMeters, trim)
+}
+
+// NewGeoInd returns planar-Laplace geo-indistinguishability (epsilon in
+// 1/metres).
+func NewGeoInd(epsilon float64, seed uint64) (Mechanism, error) {
+	return lppm.NewGeoInd(epsilon, seed)
+}
+
+// NewCloaking returns grid-snapping spatial cloaking.
+func NewCloaking(cellMeters float64, origin Point) (Mechanism, error) {
+	return lppm.NewCloaking(cellMeters, origin)
+}
+
+// MechanismFromSpec parses a textual mechanism spec such as
+// "smoothing:eps=100" or "geoind:eps=0.01" (see internal/lppm.FromSpec).
+func MechanismFromSpec(spec string) (Mechanism, error) { return lppm.FromSpec(spec) }
+
+// Protect applies a mechanism to a whole dataset.
+func Protect(m Mechanism, d *Dataset) (*Dataset, error) { return lppm.ProtectDataset(m, d) }
+
+// ---- PRIVAPI middleware ----
+
+// PRIVAPI types.
+type (
+	// PrivacyConfig parameterises the PRIVAPI middleware.
+	PrivacyConfig = core.Config
+	// PrivacyMiddleware selects and applies the optimal strategy.
+	PrivacyMiddleware = core.Middleware
+	// Selection reports a Publish run.
+	Selection = core.Selection
+	// StrategyEvaluation is one strategy's scorecard.
+	StrategyEvaluation = core.Evaluation
+	// UtilityObjective declares the target data-mining task.
+	UtilityObjective = core.Objective
+)
+
+// Utility objectives.
+const (
+	ObjectiveCrowdedPlaces = core.ObjectiveCrowdedPlaces
+	ObjectiveTraffic       = core.ObjectiveTraffic
+	ObjectiveDistortion    = core.ObjectiveDistortion
+)
+
+// ErrNoStrategy is returned when no strategy meets the privacy floor.
+var ErrNoStrategy = core.ErrNoStrategy
+
+// NewPrivacyMiddleware builds the PRIVAPI engine.
+func NewPrivacyMiddleware(cfg PrivacyConfig, origin Point) (*PrivacyMiddleware, error) {
+	return core.New(cfg, origin)
+}
+
+// ---- utility metrics ----
+
+// Utility-metric helpers (see internal/metrics for the full API).
+var (
+	// UserDensity counts distinct users per grid cell.
+	UserDensity = metrics.UserDensity
+	// TopKOverlap compares raw and protected hotspots.
+	TopKOverlap = metrics.TopKOverlap
+	// SpatialDistortion measures time-aligned displacement.
+	SpatialDistortion = metrics.SpatialDistortion
+	// CountTraffic builds per-cell-hour visit counts.
+	CountTraffic = metrics.CountTraffic
+	// NewForecaster trains the historical-average traffic forecaster.
+	NewForecaster = metrics.NewForecaster
+	// SplitAtDay partitions a dataset at a cut instant.
+	SplitAtDay = metrics.SplitAtDay
+	// TopKCells returns the densest cells of a density map.
+	TopKCells = metrics.TopK
+	// FlowMatrix counts directed cell-to-cell transitions.
+	FlowMatrix = metrics.FlowMatrix
+	// FlowSimilarity compares two flow matrices (cosine).
+	FlowSimilarity = metrics.FlowSimilarity
+)
+
+// Traffic-forecasting types.
+type (
+	// TrafficCounts holds per-cell-hour visit counts.
+	TrafficCounts = metrics.TrafficCounts
+	// Forecaster predicts per-cell-hour visits.
+	Forecaster = metrics.Forecaster
+	// CellHour identifies one grid cell during one hour of day.
+	CellHour = metrics.CellHour
+	// Density maps grid cells to activity.
+	Density = metrics.Density
+)
+
+// ---- platform (APISENSE) ----
+
+// Platform types.
+type (
+	// TaskSpec describes a crowd-sensing task (script + envelope).
+	TaskSpec = transport.TaskSpec
+	// Upload is a device's dataset batch.
+	Upload = transport.Upload
+	// DeviceInfo is a device registration record.
+	DeviceInfo = transport.DeviceInfo
+	// Hive is the central coordination service.
+	Hive = hive.Hive
+	// HiveServer is the Hive's HTTP API.
+	HiveServer = hive.Server
+	// Honeycomb is an experimenter endpoint.
+	Honeycomb = honeycomb.Honeycomb
+	// Device is a simulated mobile device.
+	Device = device.Device
+	// DeviceConfig assembles a simulated device.
+	DeviceConfig = device.Config
+	// Battery is the device battery model.
+	Battery = device.Battery
+	// FilterChain is the device-side privacy layer.
+	FilterChain = filter.Chain
+	// VirtualSensor orchestrates a device group.
+	VirtualSensor = vsensor.VirtualSensor
+)
+
+// NewHive creates an empty Hive.
+func NewHive() *Hive { return hive.New() }
+
+// RecoverHive replays a journal file into a Hive and reopens it for
+// appending, making the service restart-safe.
+var RecoverHive = hive.Recover
+
+// NewHiveServer wraps a Hive with its HTTP API.
+func NewHiveServer(h *Hive) *HiveServer { return hive.NewServer(h) }
+
+// NewHoneycomb creates an experimenter endpoint against a Hive URL.
+func NewHoneycomb(name, hiveURL string) (*Honeycomb, error) { return honeycomb.New(name, hiveURL) }
+
+// NewDevice builds a simulated device.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return device.New(cfg) }
+
+// NewBattery returns a battery at the given charge percentage.
+func NewBattery(level float64) *Battery { return device.NewBattery(level) }
+
+// UploadsToDataset converts collected uploads into a mobility dataset.
+var UploadsToDataset = honeycomb.UploadsToDataset
+
+// NewFilterChain builds a device-side privacy chain.
+func NewFilterChain(rules ...filter.Rule) *FilterChain { return filter.NewChain(rules...) }
+
+// NewVirtualSensor groups devices behind one retrieval interface.
+func NewVirtualSensor(name string, devices []*Device, s vsensor.Strategy) (*VirtualSensor, error) {
+	return vsensor.New(name, devices, s)
+}
+
+// ---- scripting ----
+
+// Script types.
+type (
+	// ScriptInterp executes SenseScript programs.
+	ScriptInterp = script.Interp
+	// ScriptValue is a SenseScript runtime value.
+	ScriptValue = script.Value
+)
+
+// NewScriptInterp creates a sandboxed SenseScript interpreter.
+func NewScriptInterp(opts ...script.Option) *ScriptInterp { return script.NewInterp(opts...) }
+
+// ParseScript compiles SenseScript source.
+var ParseScript = script.Parse
+
+// ---- incentives ----
+
+// Incentive types.
+type (
+	// IncentiveStrategy converts platform state into participation boosts.
+	IncentiveStrategy = incentive.Strategy
+	// Population is a seeded contributor population.
+	Population = incentive.Population
+)
+
+// NewPopulation draws a deterministic contributor population.
+func NewPopulation(n int, seed uint64) (*Population, error) { return incentive.NewPopulation(n, seed) }
+
+// SimulateIncentive runs a campaign simulation.
+var SimulateIncentive = incentive.Simulate
+
+// ---- secure aggregation ----
+
+// Secure-aggregation types.
+type (
+	// PaillierPrivateKey decrypts homomorphic aggregates.
+	PaillierPrivateKey = secagg.PrivateKey
+	// PaillierPublicKey encrypts device contributions.
+	PaillierPublicKey = secagg.PublicKey
+	// HistogramSession aggregates encrypted count vectors.
+	HistogramSession = secagg.HistogramSession
+)
+
+// GeneratePaillierKey creates a Paillier key pair.
+func GeneratePaillierKey(bits int) (*PaillierPrivateKey, error) { return secagg.GenerateKey(bits) }
+
+// NewHistogramSession opens an encrypted-aggregation session.
+func NewHistogramSession(pk *PaillierPublicKey, cells int) (*HistogramSession, error) {
+	return secagg.NewHistogramSession(pk, cells)
+}
+
+// EncryptContribution encrypts a device's count vector.
+var EncryptContribution = secagg.EncryptContribution

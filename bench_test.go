@@ -1,0 +1,293 @@
+package apisense
+
+// Benchmark harness: one testing.B benchmark per experiment of DESIGN.md §4
+// (the paper's claims C1-C3 and the platform behaviours of §2), plus
+// micro-benchmarks of the hot paths (mechanisms, POI extraction, script
+// interpretation, Paillier). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use a reduced workload (12 users x 9 days) so a full
+// sweep stays in the minutes range; cmd/experiments runs the full-size
+// tables.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"apisense/internal/device"
+	"apisense/internal/exp"
+	"apisense/internal/lppm"
+	"apisense/internal/poi"
+	"apisense/internal/script"
+	"apisense/internal/secagg"
+	"apisense/internal/trace"
+	"apisense/internal/transport"
+)
+
+var (
+	benchOnce sync.Once
+	benchW    *exp.Workload
+)
+
+func benchWorkload(b *testing.B) *exp.Workload {
+	b.Helper()
+	benchOnce.Do(func() {
+		w, err := exp.NewWorkload(101, 12, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchW = w
+	})
+	return benchW
+}
+
+func runTable(b *testing.B, run func(*exp.Workload) (*exp.Table, error)) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1POIRecovery regenerates Table E1 (claim C1: POI recovery under
+// geo-indistinguishability).
+func BenchmarkE1POIRecovery(b *testing.B) { runTable(b, exp.E1POIRecovery) }
+
+// BenchmarkE2SpeedSmoothing regenerates Table E2 (claim C2: smoothing hides
+// stops).
+func BenchmarkE2SpeedSmoothing(b *testing.B) { runTable(b, exp.E2SpeedSmoothing) }
+
+// BenchmarkE3Linkage regenerates Table E3 (POI-profile re-identification).
+func BenchmarkE3Linkage(b *testing.B) { runTable(b, exp.E3Linkage) }
+
+// BenchmarkE4CrowdedPlaces regenerates Table E4 (claim C3: crowded places).
+func BenchmarkE4CrowdedPlaces(b *testing.B) { runTable(b, exp.E4CrowdedPlaces) }
+
+// BenchmarkE5Traffic regenerates Table E5 (claim C3: traffic forecasting).
+func BenchmarkE5Traffic(b *testing.B) { runTable(b, exp.E5Traffic) }
+
+// BenchmarkE6Frontier regenerates Table E6 (privacy-utility frontier).
+func BenchmarkE6Frontier(b *testing.B) { runTable(b, exp.E6Frontier) }
+
+// BenchmarkE7Selection regenerates Table E7 (PRIVAPI optimal selection).
+func BenchmarkE7Selection(b *testing.B) { runTable(b, exp.E7Selection) }
+
+// BenchmarkE8Platform regenerates Table E8 (platform pipeline over HTTP).
+func BenchmarkE8Platform(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E8Platform(w, []int{5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9VirtualSensor regenerates Table E9 (retrieval strategies).
+func BenchmarkE9VirtualSensor(b *testing.B) { runTable(b, exp.E9VirtualSensor) }
+
+// BenchmarkE10Incentives regenerates Table E10 (incentive strategies).
+func BenchmarkE10Incentives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E10Incentives(7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11Filters regenerates Table E11 (device privacy layer).
+func BenchmarkE11Filters(b *testing.B) { runTable(b, exp.E11Filters) }
+
+// BenchmarkE12SecAgg regenerates Table E12 (secure aggregation).
+func BenchmarkE12SecAgg(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E12SecAgg(w, 5, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- micro-benchmarks (ablations and hot paths) ----
+
+func benchTrajectory(b *testing.B) *trace.Trajectory {
+	b.Helper()
+	w := benchWorkload(b)
+	return w.Raw.Trajectories[0]
+}
+
+// BenchmarkMechanismSmoothing measures the paper's algorithm on one day of
+// data (DESIGN.md §5 ablation: this is the publication hot path).
+func BenchmarkMechanismSmoothing(b *testing.B) {
+	tr := benchTrajectory(b)
+	m, err := lppm.NewSpeedSmoothing(100, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Protect(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMechanismGeoInd measures planar-Laplace noise per trajectory.
+func BenchmarkMechanismGeoInd(b *testing.B) {
+	tr := benchTrajectory(b)
+	m, err := lppm.NewGeoInd(0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Protect(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPOIExtractionStayPoints measures the attacker-side extractor.
+func BenchmarkPOIExtractionStayPoints(b *testing.B) {
+	tr := benchTrajectory(b)
+	sp, err := poi.NewStayPoints(poi.StayPointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Extract(tr)
+	}
+}
+
+// BenchmarkPOIExtractionDJCluster measures the density-based extractor
+// (DESIGN.md §5 ablation: stay-points vs DJ-cluster attacker).
+func BenchmarkPOIExtractionDJCluster(b *testing.B) {
+	tr := benchTrajectory(b)
+	dj, err := poi.NewDJCluster(poi.DJClusterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dj.Extract(tr)
+	}
+}
+
+// BenchmarkScriptInterpreter measures SenseScript execution of a typical
+// sensing handler over 1000 events.
+func BenchmarkScriptInterpreter(b *testing.B) {
+	src := `
+var count = 0;
+var sum = 0;
+function handle(loc) {
+  count += 1;
+  if (loc.speed < 2) { sum += loc.speed; }
+  return count;
+}
+`
+	prog, err := script.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := script.NewInterp()
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+		handler, _ := in.Lookup("handle")
+		loc := script.ObjectValue(script.NewObject().
+			Set("speed", script.Number(1.5)).
+			Set("lat", script.Number(45.76)))
+		for j := 0; j < 1000; j++ {
+			if _, err := in.CallFunction(handler, []script.Value{loc}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPaillierEncrypt measures one encrypted contribution cell.
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	sk, err := secagg.GenerateKey(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.EncryptInt64(int64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmoothingEpsilonAblation sweeps the resampling step (DESIGN.md
+// §5: grain vs cost).
+func BenchmarkSmoothingEpsilonAblation(b *testing.B) {
+	tr := benchTrajectory(b)
+	for _, eps := range []float64{50, 100, 200, 400} {
+		m, err := lppm.NewSpeedSmoothing(eps, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Protect(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrajectoryResample measures the trace substrate's interpolation.
+func BenchmarkTrajectoryResample(b *testing.B) {
+	tr := benchTrajectory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Resample(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceRunTask measures a full task execution on one device: one
+// simulated day at 60 s sampling through the SenseScript runtime and the
+// privacy chain — the per-device cost of a deployment.
+func BenchmarkDeviceRunTask(b *testing.B) {
+	w := benchWorkload(b)
+	move := w.Raw.Trajectories[0]
+	taskSpec := transport.TaskSpec{
+		ID: "bench", Name: "bench", PeriodSeconds: 60, Sensors: []string{"gps"},
+		Script: `
+sensor.gps.onLocationChanged(function(loc) {
+  if (loc.speed < 30) {
+    dataset.save({lat: loc.lat, lon: loc.lon, speed: loc.speed});
+  }
+});
+`,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := device.New(device.Config{ID: "bench-dev", User: move.User, Movement: move})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.RunTask(taskSpec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command devicesim simulates a fleet of mobile devices against a running
+// Hive: it registers the devices, polls their assigned tasks, executes the
+// task scripts over synthetic mobility, and uploads the results.
+//
+// Usage (with a Hive running on :8080):
+//
+//	devicesim -hive http://127.0.0.1:8080 -devices 20 -days 1 -wait 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"apisense/internal/device"
+	"apisense/internal/mobgen"
+	"apisense/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "devicesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("devicesim", flag.ContinueOnError)
+	hiveURL := fs.String("hive", "http://127.0.0.1:8080", "hive base URL")
+	n := fs.Int("devices", 20, "number of simulated devices")
+	days := fs.Int("days", 1, "days of movement per device")
+	seed := fs.Uint64("seed", 1, "mobility seed")
+	wait := fs.Duration("wait", 30*time.Second, "how long to poll for tasks")
+	poll := fs.Duration("poll", 2*time.Second, "task poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, city, err := mobgen.Generate(mobgen.Config{Seed: *seed, Users: *n, Days: *days})
+	if err != nil {
+		return err
+	}
+	byUser := ds.ByUser()
+	client := transport.NewClient(*hiveURL)
+	ctx := context.Background()
+
+	var devices []*device.Device
+	for _, res := range city.Residents {
+		d, err := device.New(device.Config{
+			ID: res.User + "-phone", User: res.User, Movement: byUser[res.User][0],
+		})
+		if err != nil {
+			return err
+		}
+		if err := client.Do(ctx, http.MethodPost, "/api/devices", d.Info(), nil); err != nil {
+			return fmt.Errorf("register %s: %w", d.ID(), err)
+		}
+		devices = append(devices, d)
+	}
+	log.Printf("registered %d devices with %s", len(devices), *hiveURL)
+
+	done := make(map[string]bool) // deviceID/taskID pairs already executed
+	deadline := time.Now().Add(*wait)
+	for time.Now().Before(deadline) {
+		executed := 0
+		for _, d := range devices {
+			var tasks []transport.TaskSpec
+			if err := client.Do(ctx, http.MethodGet, "/api/devices/"+d.ID()+"/tasks", nil, &tasks); err != nil {
+				log.Printf("poll %s: %v", d.ID(), err)
+				continue
+			}
+			for _, spec := range tasks {
+				key := d.ID() + "/" + spec.ID
+				if done[key] {
+					continue
+				}
+				done[key] = true
+				res, err := d.RunTask(spec)
+				if err != nil {
+					log.Printf("device %s task %s: %v", d.ID(), spec.ID, err)
+					continue
+				}
+				if err := client.Do(ctx, http.MethodPost, "/api/uploads", res.Upload, nil); err != nil {
+					log.Printf("upload %s: %v", d.ID(), err)
+					continue
+				}
+				executed++
+				log.Printf("device %s executed %s: %d records (%d filtered), battery %.1f%%",
+					d.ID(), spec.ID, len(res.Upload.Records), res.Dropped, d.Battery().Level())
+			}
+		}
+		if executed == 0 {
+			time.Sleep(*poll)
+		}
+	}
+	log.Printf("done: executed %d task instances", len(done))
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates every table of EXPERIMENTS.md (E1-E12):
+// the paper's claims C1-C3 plus the platform behaviours of §2.
+//
+// Usage:
+//
+//	experiments [-users 50] [-days 14] [-seed 1] [-only E1,E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apisense/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	users := fs.Int("users", exp.DefaultUsers, "workload users")
+	days := fs.Int("days", exp.DefaultDays, "workload days")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	fmt.Printf("workload: %d users x %d days, seed %d\n\n", *users, *days, *seed)
+	start := time.Now()
+	w, err := exp.NewWorkload(*seed, *users, *days)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %s in %s\n\n", w.Raw.Summarize(), time.Since(start).Round(time.Millisecond))
+
+	runners := []struct {
+		id  string
+		run func() (*exp.Table, error)
+	}{
+		{"E1", func() (*exp.Table, error) { return exp.E1POIRecovery(w) }},
+		{"E2", func() (*exp.Table, error) { return exp.E2SpeedSmoothing(w) }},
+		{"E3", func() (*exp.Table, error) { return exp.E3Linkage(w) }},
+		{"E4", func() (*exp.Table, error) { return exp.E4CrowdedPlaces(w) }},
+		{"E5", func() (*exp.Table, error) { return exp.E5Traffic(w) }},
+		{"E6", func() (*exp.Table, error) { return exp.E6Frontier(w) }},
+		{"E7", func() (*exp.Table, error) { return exp.E7Selection(w) }},
+		{"E8", func() (*exp.Table, error) { return exp.E8Platform(w, []int{10, 25, 50}) }},
+		{"E9", func() (*exp.Table, error) { return exp.E9VirtualSensor(w) }},
+		{"E10", func() (*exp.Table, error) { return exp.E10Incentives(*seed) }},
+		{"E11", func() (*exp.Table, error) { return exp.E11Filters(w) }},
+		{"E12", func() (*exp.Table, error) { return exp.E12SecAgg(w, 10, 32) }},
+	}
+	for _, r := range runners {
+		if !want(r.id) {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %s)\n\n", r.id, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}

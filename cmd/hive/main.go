@@ -1,0 +1,53 @@
+// Command hive runs the central APISENSE Hive service: device registry,
+// task publication and dataset ingestion, exposed over HTTP/JSON.
+//
+// Usage:
+//
+//	hive [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"apisense/internal/hive"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hive", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	journal := fs.String("journal", "", "journal file for durable state (empty = in-memory only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var h *hive.Hive
+	if *journal != "" {
+		recovered, j, err := hive.Recover(*journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		h = recovered
+		log.Printf("recovered state from %s: %+v", *journal, h.Stats())
+	} else {
+		h = hive.New()
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           hive.NewServer(h),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("hive listening on %s", *addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,140 @@
+// Command honeycomb is the experimenter endpoint CLI: deploy a task script
+// to the Hive, then collect the produced dataset and optionally publish a
+// privacy-preserving release through PRIVAPI.
+//
+// Usage:
+//
+//	honeycomb deploy -hive http://127.0.0.1:8080 -script task.js -name my-exp
+//	honeycomb collect -hive http://127.0.0.1:8080 -task task-0001 -out data.csv [-private]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"apisense/internal/core"
+	"apisense/internal/honeycomb"
+	"apisense/internal/trace"
+	"apisense/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "honeycomb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: honeycomb <deploy|collect> [flags]")
+	}
+	switch args[0] {
+	case "deploy":
+		return runDeploy(args[1:])
+	case "collect":
+		return runCollect(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want deploy or collect)", args[0])
+	}
+}
+
+func runDeploy(args []string) error {
+	fs := flag.NewFlagSet("honeycomb deploy", flag.ContinueOnError)
+	hiveURL := fs.String("hive", "http://127.0.0.1:8080", "hive base URL")
+	scriptPath := fs.String("script", "", "SenseScript task file")
+	name := fs.String("name", "experiment", "task name")
+	endpoint := fs.String("endpoint", "honeycomb-cli", "honeycomb endpoint name")
+	period := fs.Int("period", 60, "sampling period in seconds")
+	sensors := fs.String("sensors", "gps", "comma-separated required sensors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scriptPath == "" {
+		return fmt.Errorf("-script is required")
+	}
+	src, err := os.ReadFile(*scriptPath)
+	if err != nil {
+		return fmt.Errorf("read script: %w", err)
+	}
+	hc, err := honeycomb.New(*endpoint, *hiveURL)
+	if err != nil {
+		return err
+	}
+	spec := transport.TaskSpec{
+		Name:          *name,
+		Script:        string(src),
+		PeriodSeconds: *period,
+		Sensors:       splitCSV(*sensors),
+	}
+	published, recruited, err := hc.Deploy(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed %s as %s; recruited %d devices\n", *name, published.ID, len(recruited))
+	return nil
+}
+
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("honeycomb collect", flag.ContinueOnError)
+	hiveURL := fs.String("hive", "http://127.0.0.1:8080", "hive base URL")
+	taskID := fs.String("task", "", "task id to collect")
+	out := fs.String("out", "collected.csv", "output CSV path")
+	endpoint := fs.String("endpoint", "honeycomb-cli", "honeycomb endpoint name")
+	private := fs.Bool("private", false, "publish through PRIVAPI instead of raw")
+	floor := fs.Float64("floor", 0.33, "privacy floor when -private is set")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *taskID == "" {
+		return fmt.Errorf("-task is required")
+	}
+	hc, err := honeycomb.New(*endpoint, *hiveURL)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	ups, err := hc.Collect(ctx, *taskID)
+	if err != nil {
+		return err
+	}
+	users, err := hc.DeviceUsers(ctx)
+	if err != nil {
+		return err
+	}
+	ds := hc.BuildDataset(*taskID, users)
+	fmt.Printf("collected %d uploads: %s\n", len(ups), ds.Summarize())
+
+	if *private {
+		release, sel, err := hc.PublishPrivate(ds, core.Config{
+			MaxPOIExposure: *floor,
+			PseudonymKey:   []byte("honeycomb-release"),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PRIVAPI selected %s\n", sel.Chosen)
+		ds = release
+	}
+	if err := trace.SaveCSVFile(*out, ds); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Command privapi is the PRIVAPI command-line tool: it anonymises a
+// mobility dataset with a fixed mechanism, or runs the full utility-driven
+// strategy selection.
+//
+// Usage:
+//
+//	privapi protect -in traces.csv -out protected.csv -mechanism smoothing:eps=100
+//	privapi publish -in traces.csv -out release.csv -objective crowded-places -floor 0.33
+//	privapi analyze -in traces.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apisense/internal/core"
+	"apisense/internal/geo"
+	"apisense/internal/lppm"
+	"apisense/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "privapi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: privapi <protect|publish|analyze> [flags]")
+	}
+	switch args[0] {
+	case "protect":
+		return runProtect(args[1:])
+	case "publish":
+		return runPublish(args[1:])
+	case "analyze":
+		return runAnalyze(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want protect, publish or analyze)", args[0])
+	}
+}
+
+func loadDataset(path string) (*trace.Dataset, geo.Point, error) {
+	ds, err := trace.LoadCSVFile(path)
+	if err != nil {
+		return nil, geo.Point{}, err
+	}
+	origin := geo.Point{Lat: 45.7640, Lon: 4.8357}
+	if box, ok := ds.BBox(); ok {
+		origin = box.Center()
+	}
+	return ds, origin, nil
+}
+
+func runProtect(args []string) error {
+	fs := flag.NewFlagSet("privapi protect", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	out := fs.String("out", "protected.csv", "output CSV path")
+	spec := fs.String("mechanism", "smoothing:eps=100", "mechanism spec (see lppm.FromSpec)")
+	key := fs.String("pseudonym-key", "", "optional pseudonymisation key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	ds, _, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	m, err := lppm.FromSpec(*spec)
+	if err != nil {
+		return err
+	}
+	prot, err := lppm.ProtectDataset(m, ds)
+	if err != nil {
+		return err
+	}
+	if *key != "" {
+		p, err := trace.NewPseudonymizer([]byte(*key))
+		if err != nil {
+			return err
+		}
+		prot = p.Apply(prot)
+	}
+	if err := trace.SaveCSVFile(*out, prot); err != nil {
+		return err
+	}
+	fmt.Printf("protected with %s: %s -> %s (%s)\n", m.Name(), *in, *out, prot.Summarize())
+	return nil
+}
+
+func parseObjective(s string) (core.Objective, error) {
+	switch s {
+	case "crowded-places":
+		return core.ObjectiveCrowdedPlaces, nil
+	case "traffic":
+		return core.ObjectiveTraffic, nil
+	case "distortion":
+		return core.ObjectiveDistortion, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want crowded-places, traffic or distortion)", s)
+	}
+}
+
+func runPublish(args []string) error {
+	fs := flag.NewFlagSet("privapi publish", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	out := fs.String("out", "release.csv", "output CSV path")
+	objectiveName := fs.String("objective", "crowded-places", "utility objective")
+	floor := fs.Float64("floor", 0.33, "privacy floor (max POI exposure f1)")
+	key := fs.String("pseudonym-key", "release-key", "pseudonymisation key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	ds, origin, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	objective, err := parseObjective(*objectiveName)
+	if err != nil {
+		return err
+	}
+	mw, err := core.New(core.Config{
+		Objective:      objective,
+		MaxPOIExposure: *floor,
+		PseudonymKey:   []byte(*key),
+	}, origin)
+	if err != nil {
+		return err
+	}
+	release, sel, err := mw.Publish(ds)
+	if err != nil {
+		printSelection(sel)
+		return err
+	}
+	printSelection(sel)
+	if err := trace.SaveCSVFile(*out, release); err != nil {
+		return err
+	}
+	fmt.Printf("published %s -> %s with %s (%s)\n", *in, *out, sel.Chosen, release.Summarize())
+	return nil
+}
+
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("privapi analyze", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	ds, origin, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	mw, err := core.New(core.Config{}, origin)
+	if err != nil {
+		return err
+	}
+	evals, err := mw.Evaluate(ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8s %8s %8s %9s %9s %8s\n",
+		"strategy", "recall", "prec", "f1", "hotspots", "traffic", "floor")
+	for _, ev := range evals {
+		floor := "no"
+		if ev.MeetsFloor {
+			floor = "yes"
+		}
+		fmt.Printf("%-28s %7.1f%% %7.1f%% %8.3f %9.3f %9.3f %8s\n",
+			ev.Strategy,
+			ev.Privacy.Recall()*100, ev.Privacy.Precision()*100, ev.Privacy.F1(),
+			ev.HotspotOverlap, ev.TrafficUtility, floor)
+	}
+	return nil
+}
+
+func printSelection(sel *core.Selection) {
+	if sel == nil {
+		return
+	}
+	fmt.Printf("objective=%s floor=%.2f candidates=%d\n",
+		sel.Objective, sel.Floor, len(sel.Evaluations))
+	for _, ev := range sel.Evaluations {
+		marker := " "
+		if ev.Strategy == sel.Chosen {
+			marker = "*"
+		}
+		fmt.Printf(" %s %-28s exposure=%.3f utility=%.3f released=%d\n",
+			marker, ev.Strategy, ev.Privacy.F1(), ev.Utility, ev.Released)
+	}
+}

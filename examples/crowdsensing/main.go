@@ -1,0 +1,149 @@
+// Crowdsensing: the full APISENSE pipeline of the paper's Figure 1, all in
+// one process over real HTTP — a Hive server, a Honeycomb endpoint that
+// deploys a SenseScript task, a fleet of simulated devices that execute it
+// behind their privacy filters, and a PRIVAPI release at the end.
+//
+// Run with:
+//
+//	go run ./examples/crowdsensing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"apisense"
+	"apisense/internal/filter"
+)
+
+// taskScript is the crowd-sensing task offloaded to the fleet: it records
+// the device position together with the synthetic network signal quality —
+// the network-coverage application the paper's introduction motivates.
+const taskScript = `
+var samples = 0;
+sensor.gps.onLocationChanged(function(loc) {
+  samples += 1;
+  dataset.save({
+    lat: loc.lat,
+    lon: loc.lon,
+    speed: loc.speed,
+    signal: sensor.network.signal()
+  });
+});
+schedule.every(3600, function() {
+  log('collected ' + str(samples) + ' samples, battery ' + str(device.battery()));
+});
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Start a real Hive HTTP server on a loopback port.
+	hive := apisense.NewHive()
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: apisense.NewHiveServer(hive), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := server.Serve(listener); err != http.ErrServerClosed {
+			log.Printf("hive server: %v", err)
+		}
+	}()
+	defer server.Close()
+	hiveURL := "http://" + listener.Addr().String()
+	fmt.Println("hive listening on", hiveURL)
+
+	// 2. Simulated contributors: one day of synthetic mobility each. Every
+	// device runs a privacy filter: no sensing near home, daytime only.
+	raw, city, err := apisense.GenerateMobility(apisense.MobilityConfig{
+		Seed: 7, Users: 12, Days: 1,
+	})
+	if err != nil {
+		return err
+	}
+	byUser := raw.ByUser()
+	var devices []*apisense.Device
+	for _, res := range city.Residents {
+		chain := apisense.NewFilterChain(
+			&filter.ZoneExclusion{Centers: []apisense.Point{res.Home}, Radius: 400},
+			&filter.TimeWindow{StartHour: 7, EndHour: 22},
+		)
+		d, err := apisense.NewDevice(apisense.DeviceConfig{
+			ID: res.User + "-phone", User: res.User,
+			Movement: byUser[res.User][0], Filter: chain,
+		})
+		if err != nil {
+			return err
+		}
+		devices = append(devices, d)
+		if err := hive.RegisterDevice(d.Info()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("registered %d devices\n", len(devices))
+
+	// 3. The Honeycomb deploys the task through the Hive.
+	hc, err := apisense.NewHoneycomb("coverage-lab", hiveURL)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	spec, recruited, err := hc.Deploy(ctx, apisense.TaskSpec{
+		Name: "network-coverage", Script: taskScript,
+		PeriodSeconds: 120, Sensors: []string{"gps", "network"},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed %s; recruited %d devices\n", spec.ID, len(recruited))
+
+	// 4. Devices pull their task and execute it; uploads flow back.
+	for _, d := range devices {
+		tasks, err := hive.TasksFor(d.ID())
+		if err != nil {
+			return err
+		}
+		for _, task := range tasks {
+			res, err := d.RunTask(task)
+			if err != nil {
+				return err
+			}
+			if err := hive.SubmitUpload(res.Upload); err != nil {
+				return err
+			}
+			fmt.Printf("  %-16s %4d records uploaded, %3d filtered out, battery %.1f%%\n",
+				d.ID(), len(res.Upload.Records), res.Dropped, d.Battery().Level())
+		}
+	}
+
+	// 5. The Honeycomb collects and converts the uploads.
+	ups, err := hc.Collect(ctx, spec.ID)
+	if err != nil {
+		return err
+	}
+	users, err := hc.DeviceUsers(ctx)
+	if err != nil {
+		return err
+	}
+	collected := apisense.UploadsToDataset(ups, users)
+	fmt.Println("collected:", collected.Summarize())
+
+	// 6. PRIVAPI releases a privacy-preserving version.
+	release, selection, err := hc.PublishPrivate(collected, apisense.PrivacyConfig{
+		PseudonymKey: []byte("coverage-release"),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PRIVAPI selected %s; release: %s\n", selection.Chosen, release.Summarize())
+	return nil
+}

@@ -1,0 +1,98 @@
+// Secureagg: the secure-aggregation extension — devices contribute their
+// per-cell visit counts encrypted under the Honeycomb's Paillier key; the
+// Hive aggregates ciphertexts without ever seeing an individual's counts;
+// the Honeycomb decrypts only the city-wide heatmap.
+//
+// Run with:
+//
+//	go run ./examples/secureagg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apisense"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	raw, _, err := apisense.GenerateMobility(apisense.MobilityConfig{
+		Seed: 17, Users: 10, Days: 1,
+	})
+	if err != nil {
+		return err
+	}
+	box, _ := raw.BBox()
+	grid, err := apisense.NewGrid(box.Pad(200), 500)
+	if err != nil {
+		return err
+	}
+	cells := grid.Rows() * grid.Cols()
+	fmt.Printf("grid: %dx%d (%d cells)\n", grid.Rows(), grid.Cols(), cells)
+
+	// Honeycomb side: generate the aggregation key pair. 512 bits keeps the
+	// demo fast; use >= 2048 in production.
+	key, err := apisense.GeneratePaillierKey(512)
+	if err != nil {
+		return err
+	}
+	session, err := apisense.NewHistogramSession(&key.PublicKey, cells)
+	if err != nil {
+		return err
+	}
+
+	// Device side: each contributor counts their own visits per cell and
+	// sends only ciphertexts.
+	plainTotal := make([]int64, cells) // kept only to verify exactness
+	for _, trj := range raw.Trajectories {
+		counts := make([]int64, cells)
+		for _, rec := range trj.Records {
+			cell := grid.CellOf(rec.Pos)
+			counts[cell.Row*grid.Cols()+cell.Col]++
+		}
+		for i, v := range counts {
+			plainTotal[i] += v
+		}
+		encrypted, err := apisense.EncryptContribution(&key.PublicKey, counts)
+		if err != nil {
+			return err
+		}
+		// Hive side: fold ciphertexts; individual counts stay hidden.
+		if err := session.Add(encrypted); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("aggregated %d encrypted contributions\n", session.Contributions())
+
+	// Honeycomb side: decrypt the aggregate heatmap.
+	heatmap, err := session.Decrypt(key)
+	if err != nil {
+		return err
+	}
+	exact := true
+	for i := range heatmap {
+		if heatmap[i] != plainTotal[i] {
+			exact = false
+		}
+	}
+	fmt.Printf("aggregate matches plaintext sums: %v\n\n", exact)
+
+	density := apisense.Density{}
+	for i, v := range heatmap {
+		if v > 0 {
+			density[apisense.Cell{Row: i / grid.Cols(), Col: i % grid.Cols()}] = float64(v)
+		}
+	}
+	fmt.Println("busiest cells in the private heatmap:")
+	for _, cell := range apisense.TopKCells(density, 5) {
+		fmt.Printf("  %-8s around %-24s visits %.0f\n",
+			cell, grid.CenterOf(cell), density[cell])
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apisense/internal/geo"
+	"apisense/internal/trace"
+)
+
+// HeatmapLinker is the mobility-fingerprint re-identification attack: each
+// user is summarised as a grid heatmap of visit frequencies (where they
+// spend their recorded time), and pseudonymous releases are linked to the
+// candidate with the most similar (cosine) fingerprint. Unlike the
+// POI-profile Linker it needs no dwell structure at all, which makes it the
+// natural adversary against dwell-destroying mechanisms such as speed
+// smoothing.
+type HeatmapLinker struct {
+	grid *geo.Grid
+}
+
+// NewHeatmapLinker builds the attack over the given analysis grid.
+func NewHeatmapLinker(grid *geo.Grid) (*HeatmapLinker, error) {
+	if grid == nil {
+		return nil, fmt.Errorf("attack: grid is required")
+	}
+	return &HeatmapLinker{grid: grid}, nil
+}
+
+// Fingerprint is a normalised per-cell visit-frequency vector.
+type Fingerprint map[geo.Cell]float64
+
+// fingerprint computes the normalised heatmap of one user's trajectories.
+func (h *HeatmapLinker) fingerprint(trajs []*trace.Trajectory) Fingerprint {
+	fp := make(Fingerprint)
+	var total float64
+	for _, t := range trajs {
+		for _, r := range t.Records {
+			fp[h.grid.CellOf(r.Pos)]++
+			total++
+		}
+	}
+	if total > 0 {
+		for c := range fp {
+			fp[c] /= total
+		}
+	}
+	return fp
+}
+
+// BuildFingerprints learns per-user fingerprints from background data.
+func (h *HeatmapLinker) BuildFingerprints(background *trace.Dataset) map[string]Fingerprint {
+	out := make(map[string]Fingerprint)
+	for user, trajs := range background.ByUser() {
+		out[user] = h.fingerprint(trajs)
+	}
+	return out
+}
+
+// cosine returns the cosine similarity of two fingerprints.
+func cosine(a, b Fingerprint) float64 {
+	var dot, na, nb float64
+	for c, va := range a {
+		if vb, ok := b[c]; ok {
+			dot += va * vb
+		}
+		na += va * va
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Run links every pseudonymous user of the release against the learned
+// fingerprints; trueID maps pseudonyms back to users for scoring.
+func (h *HeatmapLinker) Run(fingerprints map[string]Fingerprint, release *trace.Dataset, trueID func(string) string) LinkResult {
+	candidates := make([]string, 0, len(fingerprints))
+	for user := range fingerprints {
+		candidates = append(candidates, user)
+	}
+	sort.Strings(candidates)
+
+	var res LinkResult
+	if len(candidates) > 0 {
+		res.Baseline = 1 / float64(len(candidates))
+	}
+	for pseudo, trajs := range release.ByUser() {
+		test := h.fingerprint(trajs)
+		if len(test) == 0 {
+			continue
+		}
+		truth := trueID(pseudo)
+		if _, ok := fingerprints[truth]; !ok {
+			continue
+		}
+		res.Users++
+		type scored struct {
+			user string
+			sim  float64
+		}
+		ranking := make([]scored, 0, len(candidates))
+		for _, cand := range candidates {
+			ranking = append(ranking, scored{cand, cosine(fingerprints[cand], test)})
+		}
+		sort.Slice(ranking, func(i, j int) bool {
+			if ranking[i].sim != ranking[j].sim {
+				return ranking[i].sim > ranking[j].sim
+			}
+			return ranking[i].user < ranking[j].user
+		})
+		if ranking[0].user == truth {
+			res.Correct++
+		}
+		for i := 0; i < len(ranking) && i < 3; i++ {
+			if ranking[i].user == truth {
+				res.CorrectTop3++
+				break
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,374 @@
+// Package core implements the PRIVAPI middleware (§3 of the paper): a
+// server-side publication pipeline that "leverages the global knowledge of
+// the whole system to apply an optimal anonymization strategy and produce a
+// privacy-preserving mobility dataset".
+//
+// The middleware is utility-driven: "there is not one unique anonymization
+// strategy that always performs well but many from which we can choose the
+// one that fits the best to the usage that will be done with the anonymized
+// dataset". Concretely, Publish:
+//
+//  1. derives the reference points of interest of every contributor from
+//     the raw dataset (the middleware, unlike an outside attacker, sees the
+//     whole dataset — that is its "global knowledge");
+//  2. evaluates every candidate strategy by simulating the POI-recovery
+//     attack on the protected output and scoring the utility objective the
+//     dataset consumer declared (crowded places, traffic forecasting, or
+//     raw spatial fidelity);
+//  3. keeps the strategies whose residual POI recall is below the privacy
+//     floor configured by the users/platform owner, picks the one with the
+//     best utility, and releases the pseudonymised protected dataset.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"apisense/internal/attack"
+	"apisense/internal/geo"
+	"apisense/internal/lppm"
+	"apisense/internal/metrics"
+	"apisense/internal/poi"
+	"apisense/internal/trace"
+)
+
+// Objective declares the data-mining task the published dataset must stay
+// useful for.
+type Objective int
+
+// The supported utility objectives.
+const (
+	// ObjectiveCrowdedPlaces optimises the overlap of top-k crowded cells
+	// ("finding out crowded places", claim C3).
+	ObjectiveCrowdedPlaces Objective = iota + 1
+	// ObjectiveTraffic optimises per-cell-hour traffic forecasting
+	// ("predicting traffic", claim C3).
+	ObjectiveTraffic
+	// ObjectiveDistortion optimises raw spatial fidelity (time-aligned
+	// distortion), for consumers that need point-accurate data.
+	ObjectiveDistortion
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveCrowdedPlaces:
+		return "crowded-places"
+	case ObjectiveTraffic:
+		return "traffic"
+	case ObjectiveDistortion:
+		return "distortion"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Config parameterises the middleware.
+type Config struct {
+	// Strategies are the candidate mechanisms. Leave nil for the default
+	// portfolio (identity is never included: the floor applies to it too).
+	Strategies []lppm.Mechanism
+	// Objective is the declared utility target (default crowded places).
+	Objective Objective
+	// MaxPOIExposure is the privacy floor: the maximum tolerated F-score
+	// of the simulated POI-retrieval attack on the protected output. The
+	// F-score combines how many true stops the attacker finds (recall)
+	// with their ability to tell them apart from decoys (precision);
+	// strategies scoring above it are rejected (default 0.33).
+	MaxPOIExposure float64
+	// CellSize is the analysis grid cell in metres (default 250).
+	CellSize float64
+	// TopK is the number of hotspots compared (default 20).
+	TopK int
+	// POIConfig controls reference POI extraction from the raw dataset.
+	POIConfig poi.StayPointConfig
+	// AttackRadius is the stay-point radius the simulated attacker uses
+	// on protected data (default 500 m, the noise-adaptive setting).
+	AttackRadius float64
+	// PseudonymKey keys the release pseudonymizer. Leave nil to keep
+	// original user identifiers (useful in evaluations).
+	PseudonymKey []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objective == 0 {
+		c.Objective = ObjectiveCrowdedPlaces
+	}
+	if c.MaxPOIExposure == 0 {
+		c.MaxPOIExposure = 0.33
+	}
+	if c.CellSize == 0 {
+		c.CellSize = 250
+	}
+	if c.TopK == 0 {
+		c.TopK = 20
+	}
+	if c.AttackRadius == 0 {
+		c.AttackRadius = 500
+	}
+	return c
+}
+
+// DefaultStrategies returns the portfolio evaluated when Config.Strategies
+// is nil: the paper's speed smoothing at three grains, geo-indistinguisha-
+// bility at two budgets, cloaking and downsampling.
+func DefaultStrategies(origin geo.Point) ([]lppm.Mechanism, error) {
+	var out []lppm.Mechanism
+	for _, eps := range []float64{50, 100, 200} {
+		m, err := lppm.NewSpeedSmoothing(eps, 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	for _, eps := range []float64{0.01, 0.002} {
+		m, err := lppm.NewGeoInd(eps, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	cl, err := lppm.NewCloaking(800, origin)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, cl)
+	dsm, err := lppm.NewDownsample(20)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, dsm), nil
+}
+
+// Evaluation is the per-strategy scorecard.
+type Evaluation struct {
+	// Strategy is the mechanism name.
+	Strategy string
+	// Privacy is the simulated POI-recovery attack result.
+	Privacy attack.RecoveryResult
+	// MeetsFloor reports whether Privacy.F1() <= MaxPOIExposure.
+	MeetsFloor bool
+	// HotspotOverlap is the top-k crowded-cells F1 against raw.
+	HotspotOverlap float64
+	// TrafficUtility is baselineMAE/protectedMAE clamped to [0,1]
+	// (1 = forecasts as well as raw data); 0 when not evaluable.
+	TrafficUtility float64
+	// Distortion is the time-aligned spatial distortion.
+	Distortion metrics.DistortionStats
+	// Coverage is the fraction of raw cells still visited.
+	Coverage float64
+	// Utility is the objective-specific scalar in [0,1].
+	Utility float64
+	// Released is the number of trajectories the strategy releases
+	// (suppression shrinks it).
+	Released int
+}
+
+// Selection is the outcome of a Publish run.
+type Selection struct {
+	// Objective echoes the configured objective.
+	Objective Objective
+	// Floor echoes the configured privacy floor.
+	Floor float64
+	// Chosen is the winning strategy name; empty when no strategy met
+	// the floor.
+	Chosen string
+	// Evaluations holds the scorecard of every candidate, in portfolio
+	// order.
+	Evaluations []Evaluation
+}
+
+// Middleware is the PRIVAPI publication engine.
+type Middleware struct {
+	cfg        Config
+	strategies []lppm.Mechanism
+}
+
+// New creates a middleware instance. If cfg.Strategies is nil the default
+// portfolio anchored at origin is used.
+func New(cfg Config, origin geo.Point) (*Middleware, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxPOIExposure < 0 || cfg.MaxPOIExposure > 1 {
+		return nil, fmt.Errorf("core: MaxPOIExposure must be in [0,1], got %v", cfg.MaxPOIExposure)
+	}
+	strategies := cfg.Strategies
+	if strategies == nil {
+		var err error
+		strategies, err = DefaultStrategies(origin)
+		if err != nil {
+			return nil, fmt.Errorf("core: default strategies: %w", err)
+		}
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("core: at least one strategy is required")
+	}
+	return &Middleware{cfg: cfg, strategies: strategies}, nil
+}
+
+// Strategies returns the names of the candidate strategies.
+func (m *Middleware) Strategies() []string {
+	out := make([]string, len(m.strategies))
+	for i, s := range m.strategies {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// ReferencePOIs extracts the per-user reference POIs from the raw dataset —
+// the middleware's global knowledge of what must be hidden.
+func (m *Middleware) ReferencePOIs(raw *trace.Dataset) (map[string][]geo.Point, error) {
+	sp, err := poi.NewStayPoints(m.cfg.POIConfig)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference extractor: %w", err)
+	}
+	perUser := poi.ExtractAll(sp, raw)
+	out := make(map[string][]geo.Point, len(perUser))
+	for user, pois := range perUser {
+		places := poi.Merge(pois, 250)
+		pts := make([]geo.Point, len(places))
+		for i, p := range places {
+			pts[i] = p.Center
+		}
+		out[user] = pts
+	}
+	return out, nil
+}
+
+// Evaluate scores every candidate strategy against the raw dataset.
+func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
+	truth, err := m.ReferencePOIs(raw)
+	if err != nil {
+		return nil, err
+	}
+	attacker, err := poi.NewStayPoints(poi.StayPointConfig{
+		MaxDistance: m.cfg.AttackRadius,
+		MinDuration: m.cfg.POIConfig.MinDuration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: attacker extractor: %w", err)
+	}
+	recovery, err := attack.NewPOIRecovery(attacker, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery attack: %w", err)
+	}
+
+	box, ok := raw.BBox()
+	if !ok {
+		return nil, fmt.Errorf("core: raw dataset is empty")
+	}
+	grid, err := geo.NewGrid(box.Pad(500), m.cfg.CellSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis grid: %w", err)
+	}
+	rawDensity := metrics.UserDensity(raw, grid)
+
+	evals := make([]Evaluation, 0, len(m.strategies))
+	for _, s := range m.strategies {
+		prot, err := lppm.ProtectDataset(s, raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
+		}
+		ev := Evaluation{
+			Strategy: s.Name(),
+			Privacy:  recovery.Run(truth, prot),
+			Released: prot.Len(),
+		}
+		ev.MeetsFloor = ev.Privacy.F1() <= m.cfg.MaxPOIExposure
+		ev.HotspotOverlap = metrics.TopKOverlap(rawDensity, metrics.UserDensity(prot, grid), m.cfg.TopK)
+		ev.TrafficUtility = m.trafficUtility(raw, prot, grid)
+		ev.Distortion = metrics.SpatialDistortion(raw, prot)
+		ev.Coverage = metrics.Coverage(raw, prot, grid)
+		switch m.cfg.Objective {
+		case ObjectiveTraffic:
+			ev.Utility = ev.TrafficUtility
+		case ObjectiveDistortion:
+			ev.Utility = 1 / (1 + ev.Distortion.Mean/250)
+		default:
+			ev.Utility = ev.HotspotOverlap
+		}
+		evals = append(evals, ev)
+	}
+	return evals, nil
+}
+
+// trafficUtility trains forecasters on the protected and raw data before
+// the last simulated day and compares their error on that raw day. Returns
+// 0 when the dataset spans fewer than two days.
+func (m *Middleware) trafficUtility(raw, prot *trace.Dataset, grid *geo.Grid) float64 {
+	start, end, ok := raw.TimeSpan()
+	if !ok {
+		return 0
+	}
+	endEve := end.Add(-time.Nanosecond) // an end exactly at midnight belongs to the previous day
+	lastDay := time.Date(endEve.Year(), endEve.Month(), endEve.Day(), 0, 0, 0, 0, time.UTC)
+	if !lastDay.After(start) {
+		return 0 // single-day dataset
+	}
+	rawTrain, rawTest := metrics.SplitAtDay(raw, lastDay)
+	protTrain, _ := metrics.SplitAtDay(prot, lastDay)
+	if rawTrain.Len() == 0 || rawTest.Len() == 0 || protTrain.Len() == 0 {
+		return 0
+	}
+	actual := metrics.CountTraffic(rawTest, grid)
+	baseF, err := metrics.NewForecaster(metrics.CountTraffic(rawTrain, grid))
+	if err != nil {
+		return 0
+	}
+	protF, err := metrics.NewForecaster(metrics.CountTraffic(protTrain, grid))
+	if err != nil {
+		return 0
+	}
+	baseMAE := baseF.Evaluate(actual).MAE
+	protMAE := protF.Evaluate(actual).MAE
+	if protMAE == 0 {
+		return 1
+	}
+	u := baseMAE / protMAE
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Publish evaluates the portfolio, selects the best strategy meeting the
+// privacy floor, and returns the protected (and, when a pseudonym key is
+// configured, pseudonymised) dataset together with the full selection
+// report. When no strategy meets the floor, it returns ErrNoStrategy and a
+// selection whose Chosen field is empty.
+func (m *Middleware) Publish(raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
+	evals, err := m.Evaluate(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := &Selection{
+		Objective:   m.cfg.Objective,
+		Floor:       m.cfg.MaxPOIExposure,
+		Evaluations: evals,
+	}
+	bestIdx := -1
+	for i, ev := range evals {
+		if !ev.MeetsFloor {
+			continue
+		}
+		if bestIdx < 0 || ev.Utility > evals[bestIdx].Utility {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, sel, ErrNoStrategy
+	}
+	sel.Chosen = evals[bestIdx].Strategy
+
+	prot, err := lppm.ProtectDataset(m.strategies[bestIdx], raw)
+	if err != nil {
+		return nil, sel, fmt.Errorf("core: applying %s: %w", sel.Chosen, err)
+	}
+	if len(m.cfg.PseudonymKey) > 0 {
+		p, err := trace.NewPseudonymizer(m.cfg.PseudonymKey)
+		if err != nil {
+			return nil, sel, fmt.Errorf("core: pseudonymizer: %w", err)
+		}
+		prot = p.Apply(prot)
+	}
+	return prot, sel, nil
+}

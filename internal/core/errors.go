@@ -1,0 +1,8 @@
+package core
+
+import "errors"
+
+// ErrNoStrategy is returned by Publish when no candidate strategy satisfies
+// the configured privacy floor; the caller should either relax the floor,
+// extend the portfolio, or refuse to publish.
+var ErrNoStrategy = errors.New("core: no strategy meets the privacy floor")

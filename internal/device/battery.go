@@ -1,0 +1,55 @@
+package device
+
+import "fmt"
+
+// Battery models a device battery in percent of capacity. Sensing and
+// uploading drain it; an exhausted device stops contributing. The model is
+// what the energy-aware virtual-sensor strategy (§2 of the paper)
+// optimises against.
+type Battery struct {
+	level float64 // 0..100
+
+	// DrainPerFix is the cost of one GPS fix, in percent.
+	DrainPerFix float64
+	// DrainPerSave is the cost of saving+uploading one record.
+	DrainPerSave float64
+	// IdlePerHour is the baseline drain per simulated hour.
+	IdlePerHour float64
+}
+
+// NewBattery returns a battery at the given initial level (clamped to
+// [0,100]) with the default drain profile.
+func NewBattery(level float64) *Battery {
+	if level < 0 {
+		level = 0
+	}
+	if level > 100 {
+		level = 100
+	}
+	return &Battery{
+		level:        level,
+		DrainPerFix:  0.01,
+		DrainPerSave: 0.02,
+		IdlePerHour:  0.2,
+	}
+}
+
+// Level returns the current charge in percent.
+func (b *Battery) Level() float64 { return b.level }
+
+// Dead reports whether the battery is exhausted.
+func (b *Battery) Dead() bool { return b.level <= 0 }
+
+// Drain removes amount percent of charge (never below zero).
+func (b *Battery) Drain(amount float64) {
+	if amount < 0 {
+		return
+	}
+	b.level -= amount
+	if b.level < 0 {
+		b.level = 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (b *Battery) String() string { return fmt.Sprintf("%.1f%%", b.level) }

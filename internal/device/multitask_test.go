@@ -1,0 +1,83 @@
+package device
+
+import (
+	"testing"
+
+	"apisense/internal/trace"
+)
+
+// TestSequentialTasksShareBattery verifies the paper's multi-experiment
+// scenario: one phone serving several tasks drains a single battery, and
+// later tasks see the depleted level.
+func TestSequentialTasksShareBattery(t *testing.T) {
+	d := newDevice(t, Config{})
+	before := d.Battery().Level()
+	if _, err := d.RunTask(spec(gpsTask, 60)); err != nil {
+		t.Fatal(err)
+	}
+	mid := d.Battery().Level()
+	if mid >= before {
+		t.Fatalf("battery did not drain: %v -> %v", before, mid)
+	}
+	s2 := spec(`schedule.every(600, function() { dataset.save({sensor: 'battery', level: device.battery()}); });`, 60)
+	s2.ID = "t-2"
+	s2.Sensors = []string{"battery"}
+	res, err := d.RunTask(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Battery().Level() >= mid {
+		t.Fatal("second task did not drain further")
+	}
+	// The second task observes the already-drained level.
+	first := res.Upload.Records[0].Data["level"].(float64)
+	if first > mid {
+		t.Errorf("second task saw battery %v, but level was already %v", first, mid)
+	}
+}
+
+// TestTaskWithJSONConfig exercises the JSON stdlib from a task script: the
+// deployment ships thresholds as a JSON string, the script parses it.
+func TestTaskWithJSONConfig(t *testing.T) {
+	src := `
+var cfg = JSON.parse('{"maxSpeed": 2.0, "tag": "slow-fix"}');
+sensor.gps.onLocationChanged(function(loc) {
+  if (loc.speed < cfg.maxSpeed) {
+    dataset.save({lat: loc.lat, lon: loc.lon, tag: cfg.tag});
+  }
+});
+`
+	d := newDevice(t, Config{})
+	res, err := d.RunTask(spec(src, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Upload.Records) == 0 {
+		t.Fatal("no records collected")
+	}
+	for _, r := range res.Upload.Records {
+		if r.Data["tag"] != "slow-fix" {
+			t.Fatalf("tag = %v", r.Data["tag"])
+		}
+	}
+}
+
+// TestRunTaskRespectsMovementGaps: a movement trace with a hole (sensor off)
+// produces no fixes inside the hole.
+func TestRunTaskRespectsMovementGaps(t *testing.T) {
+	move := movement()
+	// Remove 20 minutes from the middle.
+	var gapped = *move
+	gapped.Records = append(append([]trace.Record(nil), move.Records[:20]...), move.Records[40:]...)
+	d := newDevice(t, Config{Movement: &gapped})
+	res, err := d.RunTask(spec(gpsTask, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The linear interpolation in Trajectory.At covers the gap, so fixes
+	// still appear but lie on the straight chord between the gap edges —
+	// the count must equal the full window.
+	if res.Ticks != 61 {
+		t.Errorf("ticks = %d, want 61 (interpolated across gap)", res.Ticks)
+	}
+}

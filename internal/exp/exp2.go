@@ -1,0 +1,482 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"apisense/internal/core"
+	"apisense/internal/device"
+	"apisense/internal/filter"
+	"apisense/internal/geo"
+	"apisense/internal/hive"
+	"apisense/internal/honeycomb"
+	"apisense/internal/incentive"
+	"apisense/internal/lppm"
+	"apisense/internal/metrics"
+	"apisense/internal/secagg"
+	"apisense/internal/transport"
+	"apisense/internal/vsensor"
+)
+
+// E6Frontier runs experiment E6: the privacy-utility frontier sweep that
+// motivates PRIVAPI's "not one unique strategy" position.
+func E6Frontier(w *Workload) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Privacy-utility frontier (exposure f1 vs hotspot overlap)",
+		Columns: []string{"mechanism", "exposure-f1", "hotspot-overlap", "mean-distortion"},
+		Notes:   []string{"ideal corner: exposure 0, overlap 1"},
+	}
+	rawDen := metrics.UserDensity(w.Raw, w.Grid)
+	var sweep []lppm.Mechanism
+	for _, eps := range []float64{0.05, 0.01, 0.002} {
+		gi, err := lppm.NewGeoInd(eps, 1)
+		if err != nil {
+			return nil, err
+		}
+		sweep = append(sweep, gi)
+	}
+	for _, eps := range []float64{50, 100, 200, 400} {
+		sm, err := lppm.NewSpeedSmoothing(eps, 2)
+		if err != nil {
+			return nil, err
+		}
+		sweep = append(sweep, sm)
+	}
+	for _, m := range sweep {
+		release, err := protect(m, w)
+		if err != nil {
+			return nil, err
+		}
+		res, err := attackOn(w.Truth, release)
+		if err != nil {
+			return nil, err
+		}
+		overlap := metrics.TopKOverlap(rawDen, metrics.UserDensity(release, w.Grid), 20)
+		dist := metrics.SpatialDistortion(w.Raw, release)
+		t.Rows = append(t.Rows, []string{
+			m.Name(), fmtF(res.F1()), fmtF(overlap), fmt.Sprintf("%.0fm", dist.Mean),
+		})
+	}
+	return t, nil
+}
+
+// E7Selection runs experiment E7: PRIVAPI's utility-driven optimal strategy
+// selection across objectives and privacy floors.
+func E7Selection(w *Workload) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "PRIVAPI optimal strategy selection (per objective and privacy floor)",
+		Columns: []string{"objective", "floor", "chosen", "utility", "exposure-f1"},
+	}
+	for _, obj := range []core.Objective{core.ObjectiveCrowdedPlaces, core.ObjectiveTraffic, core.ObjectiveDistortion} {
+		for _, floor := range []float64{0.25, 0.45, 0.85} {
+			mw, err := core.New(core.Config{
+				Objective:      obj,
+				MaxPOIExposure: floor,
+			}, w.City.Center)
+			if err != nil {
+				return nil, err
+			}
+			_, sel, err := mw.Publish(w.Raw)
+			if err != nil && !errors.Is(err, core.ErrNoStrategy) {
+				return nil, err
+			}
+			chosen := sel.Chosen
+			utility, exposure := "-", "-"
+			if chosen == "" {
+				chosen = "(none meets floor)"
+			} else {
+				for _, ev := range sel.Evaluations {
+					if ev.Strategy == sel.Chosen {
+						utility = fmtF(ev.Utility)
+						exposure = fmtF(ev.Privacy.F1())
+					}
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				obj.String(), fmtF(floor), chosen, utility, exposure,
+			})
+		}
+	}
+	return t, nil
+}
+
+const collectScript = `
+sensor.gps.onLocationChanged(function(loc) {
+  dataset.save({lat: loc.lat, lon: loc.lon, speed: loc.speed});
+});
+`
+
+// E8Platform runs experiment E8: end-to-end platform pipeline over HTTP
+// (Fig. 1): register devices, deploy a script task, execute, upload,
+// collect. Reports deployment latency and ingestion throughput.
+func E8Platform(w *Workload, fleetSizes []int) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Platform pipeline: deploy -> execute -> upload -> collect (HTTP)",
+		Columns: []string{"devices", "deploy-latency", "records", "ingest-throughput", "collect-latency"},
+	}
+	byUser := w.Raw.ByUser()
+	for _, n := range fleetSizes {
+		if n > len(w.City.Residents) {
+			n = len(w.City.Residents)
+		}
+		h := hive.New()
+		srv := httptest.NewServer(hive.NewServer(h))
+		hc, err := honeycomb.New("exp-lab", srv.URL)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		ctx := context.Background()
+
+		var devices []*device.Device
+		for _, res := range w.City.Residents[:n] {
+			move := byUser[res.User][0]
+			d, err := device.New(device.Config{ID: res.User + "-phone", User: res.User, Movement: move})
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			if err := h.RegisterDevice(d.Info()); err != nil {
+				srv.Close()
+				return nil, err
+			}
+			devices = append(devices, d)
+		}
+
+		deployStart := time.Now()
+		spec, _, err := hc.Deploy(ctx, transport.TaskSpec{
+			Name: "exp8", Script: collectScript, PeriodSeconds: 120, Sensors: []string{"gps"},
+		})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		deployLatency := time.Since(deployStart)
+
+		cl := transport.NewClient(srv.URL)
+		var records int
+		ingestStart := time.Now()
+		for _, d := range devices {
+			res, err := d.RunTask(spec)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			records += len(res.Upload.Records)
+			if err := cl.Do(ctx, "POST", "/api/uploads", res.Upload, nil); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		ingestDur := time.Since(ingestStart)
+
+		collectStart := time.Now()
+		ups, err := hc.Collect(ctx, spec.ID)
+		collectLatency := time.Since(collectStart)
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(ups) != len(devices) {
+			return nil, fmt.Errorf("exp: collected %d uploads for %d devices", len(ups), len(devices))
+		}
+		throughput := float64(records) / ingestDur.Seconds()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			deployLatency.Round(100 * time.Microsecond).String(),
+			fmt.Sprintf("%d", records),
+			fmt.Sprintf("%.0f rec/s", throughput),
+			collectLatency.Round(100 * time.Microsecond).String(),
+		})
+	}
+	return t, nil
+}
+
+// E9VirtualSensor runs experiment E9: round-robin vs energy-aware vs random
+// retrieval strategies on a heterogeneous fleet.
+func E9VirtualSensor(w *Workload) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Virtual sensor strategies (40 devices, heterogeneous batteries, 1 day)",
+		Columns: []string{"strategy", "samples", "failures", "battery-min", "battery-std", "dead", "fairness"},
+	}
+	byUser := w.Raw.ByUser()
+	n := 40
+	if n > len(w.City.Residents) {
+		n = len(w.City.Residents)
+	}
+	batteries := []float64{10, 100, 35, 100, 60, 100, 20, 100}
+	build := func() ([]*device.Device, error) {
+		var out []*device.Device
+		for i, res := range w.City.Residents[:n] {
+			b := device.NewBattery(batteries[i%len(batteries)])
+			b.DrainPerFix = 0.25
+			d, err := device.New(device.Config{
+				ID: fmt.Sprintf("vs-%02d", i), User: res.User,
+				Movement: byUser[res.User][0], Battery: b,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+		}
+		return out, nil
+	}
+	start, _, _ := w.Raw.TimeSpan()
+	coverage, err := vsensor.NewCoverageAware(w.Grid)
+	if err != nil {
+		return nil, err
+	}
+	for _, strat := range []vsensor.Strategy{
+		vsensor.RoundRobin{}, vsensor.EnergyAware{}, vsensor.NewRandom(4), coverage,
+	} {
+		devs, err := build()
+		if err != nil {
+			return nil, err
+		}
+		vs, err := vsensor.New("exp9", devs, strat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := vs.Campaign(start, start.Add(24*time.Hour), 30*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Strategy,
+			fmt.Sprintf("%d", res.Samples),
+			fmt.Sprintf("%d", res.Failures),
+			fmt.Sprintf("%.1f", res.BatteryMin),
+			fmt.Sprintf("%.2f", res.BatteryStd),
+			fmt.Sprintf("%d", res.Dead),
+			fmtF(res.Fairness),
+		})
+	}
+	return t, nil
+}
+
+// E10Incentives runs experiment E10: contributions and retention per
+// incentive strategy over a 30-day campaign.
+func E10Incentives(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Incentive strategies (200 contributors, 30 days)",
+		Columns: []string{"strategy", "contributions", "day1-7", "day24-30", "retention"},
+	}
+	strategies := []incentive.Strategy{
+		incentive.None{}, incentive.Feedback{}, incentive.NewRanking(),
+		incentive.NewRewarding(), incentive.NewWinWin(),
+	}
+	for _, s := range strategies {
+		pop, err := incentive.NewPopulation(200, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := incentive.Simulate(pop, s, 30)
+		if err != nil {
+			return nil, err
+		}
+		var first, last float64
+		for _, v := range res.Daily[:7] {
+			first += v
+		}
+		for _, v := range res.Daily[23:] {
+			last += v
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Strategy,
+			fmt.Sprintf("%d", res.Total),
+			fmtPct(first / 7),
+			fmtPct(last / 7),
+			fmtF(res.Retention),
+		})
+	}
+	return t, nil
+}
+
+// E11Filters runs experiment E11: effect of the device-side privacy layer
+// on what leaves the phone and on POI recovery.
+func E11Filters(w *Workload) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Device-side privacy layer: kept records and home exposure",
+		Columns: []string{"filter", "kept", "dropped", "home-recall"},
+		Notes:   []string{"home-recall: homes recovered by the attack from the device uploads"},
+	}
+	byUser := w.Raw.ByUser()
+	n := 10
+	if n > len(w.City.Residents) {
+		n = len(w.City.Residents)
+	}
+	homes := make(map[string][]geo.Point, n)
+	for _, res := range w.City.Residents[:n] {
+		homes[res.User] = []geo.Point{res.Home}
+	}
+	type chainBuilder struct {
+		name  string
+		build func(home geo.Point) *filter.Chain
+	}
+	builders := []chainBuilder{
+		{"none", func(geo.Point) *filter.Chain { return filter.NewChain() }},
+		{"blur-400m", func(geo.Point) *filter.Chain {
+			return filter.NewChain(&filter.LocationBlur{CellSize: 400, Origin: w.City.Center})
+		}},
+		{"home-zone-500m", func(home geo.Point) *filter.Chain {
+			return filter.NewChain(&filter.ZoneExclusion{Centers: []geo.Point{home}, Radius: 500})
+		}},
+		{"daytime-only", func(geo.Point) *filter.Chain {
+			return filter.NewChain(&filter.TimeWindow{StartHour: 8, EndHour: 20})
+		}},
+	}
+	for _, b := range builders {
+		uploads := make([]transport.Upload, 0, n)
+		var kept, dropped int
+		for _, res := range w.City.Residents[:n] {
+			d, err := device.New(device.Config{
+				ID: res.User + "-ph", User: res.User,
+				Movement: byUser[res.User][0],
+				Filter:   b.build(res.Home),
+			})
+			if err != nil {
+				return nil, err
+			}
+			spec := transport.TaskSpec{
+				ID: "e11", Name: "e11", Script: collectScript,
+				PeriodSeconds: 60, Sensors: []string{"gps"},
+			}
+			rr, err := d.RunTask(spec)
+			if err != nil {
+				return nil, err
+			}
+			kept += len(rr.Upload.Records)
+			dropped += rr.Dropped
+			rr.Upload.DeviceID = res.User
+			uploads = append(uploads, rr.Upload)
+		}
+		ds := honeycomb.UploadsToDataset(uploads, nil)
+		res, err := attackOn(homes, ds)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			b.name,
+			fmt.Sprintf("%d", kept),
+			fmt.Sprintf("%d", dropped),
+			fmtPct(res.Recall()),
+		})
+	}
+	return t, nil
+}
+
+// E12SecAgg runs experiment E12: exactness and cost of the secure
+// aggregation extension (Paillier heatmap vs plaintext sums).
+func E12SecAgg(w *Workload, users, cells int) (*Table, error) {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Secure aggregation: private crowd heatmap (Paillier, 512-bit test key)",
+		Columns: []string{"scheme", "devices", "cells", "exact", "time-per-device"},
+	}
+	if users > len(w.City.Residents) {
+		users = len(w.City.Residents)
+	}
+	// Per-device cell counts from day-one movement.
+	counts := make([][]int64, users)
+	byUser := w.Raw.ByUser()
+	for i, res := range w.City.Residents[:users] {
+		vec := make([]int64, cells)
+		for _, r := range byUser[res.User][0].Records {
+			c := w.Grid.CellOf(r.Pos)
+			vec[(c.Row*31+c.Col)%cells]++
+		}
+		counts[i] = vec
+	}
+	want := make([]int64, cells)
+	for _, vec := range counts {
+		for i, v := range vec {
+			want[i] += v
+		}
+	}
+
+	// Paillier path.
+	sk, err := secagg.GenerateKey(512)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := secagg.NewHistogramSession(&sk.PublicKey, cells)
+	if err != nil {
+		return nil, err
+	}
+	startP := time.Now()
+	for _, vec := range counts {
+		enc, err := secagg.EncryptContribution(&sk.PublicKey, vec)
+		if err != nil {
+			return nil, err
+		}
+		if err := sess.Add(enc); err != nil {
+			return nil, err
+		}
+	}
+	got, err := sess.Decrypt(sk)
+	if err != nil {
+		return nil, err
+	}
+	perDevP := time.Since(startP) / time.Duration(users)
+	exactP := equalVec(got, want)
+
+	// Secret-sharing path (2 aggregators).
+	aggA, err := secagg.NewShareAggregator(cells)
+	if err != nil {
+		return nil, err
+	}
+	aggB, err := secagg.NewShareAggregator(cells)
+	if err != nil {
+		return nil, err
+	}
+	startS := time.Now()
+	for _, vec := range counts {
+		shares, err := secagg.Split(vec, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := aggA.Add(shares[0]); err != nil {
+			return nil, err
+		}
+		if err := aggB.Add(shares[1]); err != nil {
+			return nil, err
+		}
+	}
+	gotS, err := secagg.Combine([]secagg.Shares{aggA.Sum(), aggB.Sum()})
+	if err != nil {
+		return nil, err
+	}
+	perDevS := time.Since(startS) / time.Duration(users)
+	exactS := equalVec(gotS, want)
+
+	t.Rows = append(t.Rows, []string{
+		"paillier", fmt.Sprintf("%d", users), fmt.Sprintf("%d", cells),
+		fmt.Sprintf("%v", exactP), perDevP.Round(time.Microsecond).String(),
+	})
+	t.Rows = append(t.Rows, []string{
+		"secret-sharing", fmt.Sprintf("%d", users), fmt.Sprintf("%d", cells),
+		fmt.Sprintf("%v", exactS), perDevS.Round(time.Microsecond).String(),
+	})
+	return t, nil
+}
+
+func equalVec(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

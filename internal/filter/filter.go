@@ -1,0 +1,277 @@
+// Package filter implements the device-side privacy layer of APISENSE
+// (§2 of the paper): "a first layer is deployed on the mobile device and
+// implements several algorithms to filter out and blur sensitive
+// information (e.g., address book, location) depending on user preferences.
+// The user keeps the control of her mobile phone to select the sensors to
+// be shared, as well as when and where these sensors can be used by the
+// platform."
+//
+// Filters operate on the structured records a task script saves, before
+// they leave the device. Each rule either transforms a record or drops it;
+// rules compose into a Chain evaluated in order.
+package filter
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"time"
+
+	"apisense/internal/geo"
+)
+
+// Record is one sensed data item about to be uploaded.
+type Record struct {
+	// Sensor names the producing sensor ("gps", "battery", ...).
+	Sensor string
+	// Time is the sensing instant.
+	Time time.Time
+	// Data is the payload the task script saved. Location-aware rules
+	// look for the conventional "lat"/"lon" numeric fields.
+	Data map[string]any
+}
+
+// clone returns a copy of the record with its own Data map.
+func (r Record) clone() Record {
+	out := r
+	out.Data = make(map[string]any, len(r.Data))
+	for k, v := range r.Data {
+		out.Data[k] = v
+	}
+	return out
+}
+
+// position extracts the record's location, if any.
+func (r Record) position() (geo.Point, bool) {
+	lat, okLat := toFloat(r.Data["lat"])
+	lon, okLon := toFloat(r.Data["lon"])
+	if !okLat || !okLon {
+		return geo.Point{}, false
+	}
+	return geo.Point{Lat: lat, Lon: lon}, true
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}
+
+// Rule transforms or drops records.
+type Rule interface {
+	// Name identifies the rule in audit logs.
+	Name() string
+	// Apply returns the (possibly rewritten) record and whether to keep
+	// it. Implementations must not mutate the input record's Data map.
+	Apply(r Record) (Record, bool)
+}
+
+// Chain applies rules in order, stopping at the first drop.
+type Chain struct {
+	rules []Rule
+}
+
+// NewChain builds a filter chain.
+func NewChain(rules ...Rule) *Chain { return &Chain{rules: rules} }
+
+// Rules returns the rule names, in order.
+func (c *Chain) Rules() []string {
+	out := make([]string, len(c.rules))
+	for i, r := range c.rules {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// Apply runs the chain. ok is false when some rule dropped the record.
+func (c *Chain) Apply(r Record) (Record, bool) {
+	cur := r
+	for _, rule := range c.rules {
+		next, keep := rule.Apply(cur)
+		if !keep {
+			return Record{}, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// SensorOptOut drops records from sensors the user did not share.
+type SensorOptOut struct {
+	// Allowed is the set of shareable sensor names.
+	Allowed map[string]bool
+}
+
+var _ Rule = (*SensorOptOut)(nil)
+
+// Name implements Rule.
+func (*SensorOptOut) Name() string { return "sensor-opt-out" }
+
+// Apply implements Rule.
+func (s *SensorOptOut) Apply(r Record) (Record, bool) {
+	if !s.Allowed[r.Sensor] {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// TimeWindow keeps records sensed between StartHour (inclusive) and EndHour
+// (exclusive), local device time. A window crossing midnight (e.g. 22 to 6)
+// is supported.
+type TimeWindow struct {
+	StartHour int
+	EndHour   int
+}
+
+var _ Rule = (*TimeWindow)(nil)
+
+// Name implements Rule.
+func (*TimeWindow) Name() string { return "time-window" }
+
+// Apply implements Rule.
+func (w *TimeWindow) Apply(r Record) (Record, bool) {
+	h := r.Time.Hour()
+	var inside bool
+	if w.StartHour <= w.EndHour {
+		inside = h >= w.StartHour && h < w.EndHour
+	} else {
+		inside = h >= w.StartHour || h < w.EndHour
+	}
+	if !inside {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// ZoneExclusion drops location records inside protected zones (typically
+// the user's home neighbourhood). Records without a location pass through.
+type ZoneExclusion struct {
+	// Centers are the protected places.
+	Centers []geo.Point
+	// Radius is the protection radius in metres.
+	Radius float64
+}
+
+var _ Rule = (*ZoneExclusion)(nil)
+
+// Name implements Rule.
+func (*ZoneExclusion) Name() string { return "zone-exclusion" }
+
+// Apply implements Rule.
+func (z *ZoneExclusion) Apply(r Record) (Record, bool) {
+	pos, ok := r.position()
+	if !ok {
+		return r, true
+	}
+	for _, c := range z.Centers {
+		if geo.Distance(pos, c) <= z.Radius {
+			return Record{}, false
+		}
+	}
+	return r, true
+}
+
+// LocationBlur coarsens locations to the centre of a fixed grid cell before
+// they leave the device.
+type LocationBlur struct {
+	// CellSize is the blur grain in metres.
+	CellSize float64
+	// Origin anchors the blur grid.
+	Origin geo.Point
+}
+
+var _ Rule = (*LocationBlur)(nil)
+
+// Name implements Rule.
+func (*LocationBlur) Name() string { return "location-blur" }
+
+// Apply implements Rule.
+func (b *LocationBlur) Apply(r Record) (Record, bool) {
+	pos, ok := r.position()
+	if !ok || b.CellSize <= 0 {
+		return r, true
+	}
+	proj := geo.NewProjection(b.Origin)
+	xy := proj.Forward(pos)
+	xy.X = (math.Floor(xy.X/b.CellSize) + 0.5) * b.CellSize
+	xy.Y = (math.Floor(xy.Y/b.CellSize) + 0.5) * b.CellSize
+	blurred := proj.Inverse(xy)
+	out := r.clone()
+	out.Data["lat"] = blurred.Lat
+	out.Data["lon"] = blurred.Lon
+	return out, true
+}
+
+// FieldHash replaces the values of sensitive payload fields (address-book
+// entries, phone numbers, ...) with keyed hashes, preserving equality
+// while hiding the raw identifier.
+type FieldHash struct {
+	// Fields lists the payload keys to hash.
+	Fields []string
+	// Salt keys the hash; it must stay on the device.
+	Salt []byte
+}
+
+var _ Rule = (*FieldHash)(nil)
+
+// Name implements Rule.
+func (*FieldHash) Name() string { return "field-hash" }
+
+// Apply implements Rule.
+func (f *FieldHash) Apply(r Record) (Record, bool) {
+	var out Record
+	cloned := false
+	for _, field := range f.Fields {
+		v, ok := r.Data[field]
+		if !ok {
+			continue
+		}
+		if !cloned {
+			out = r.clone()
+			cloned = true
+		}
+		mac := hmac.New(sha256.New, f.Salt)
+		fmt.Fprint(mac, v)
+		out.Data[field] = "h:" + hex.EncodeToString(mac.Sum(nil))[:16]
+	}
+	if !cloned {
+		return r, true
+	}
+	return out, true
+}
+
+// RateLimit keeps at most one record per sensor per MinInterval. It bounds
+// how finely the platform can sample the user even if the task script asks
+// for more.
+type RateLimit struct {
+	// MinInterval is the minimum spacing between kept records.
+	MinInterval time.Duration
+
+	last map[string]time.Time
+}
+
+var _ Rule = (*RateLimit)(nil)
+
+// NewRateLimit returns a rate-limiting rule.
+func NewRateLimit(min time.Duration) *RateLimit {
+	return &RateLimit{MinInterval: min, last: make(map[string]time.Time)}
+}
+
+// Name implements Rule.
+func (*RateLimit) Name() string { return "rate-limit" }
+
+// Apply implements Rule.
+func (l *RateLimit) Apply(r Record) (Record, bool) {
+	if last, ok := l.last[r.Sensor]; ok && r.Time.Sub(last) < l.MinInterval {
+		return Record{}, false
+	}
+	l.last[r.Sensor] = r.Time
+	return r, true
+}

@@ -1,0 +1,197 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"apisense/internal/geo"
+)
+
+var (
+	lyon = geo.Point{Lat: 45.7640, Lon: 4.8357}
+	t0   = time.Date(2014, 12, 8, 10, 30, 0, 0, time.UTC)
+)
+
+func gpsRecord(pos geo.Point, ts time.Time) Record {
+	return Record{
+		Sensor: "gps",
+		Time:   ts,
+		Data:   map[string]any{"lat": pos.Lat, "lon": pos.Lon, "speed": 1.2},
+	}
+}
+
+func TestSensorOptOut(t *testing.T) {
+	rule := &SensorOptOut{Allowed: map[string]bool{"gps": true}}
+	if _, keep := rule.Apply(gpsRecord(lyon, t0)); !keep {
+		t.Error("allowed sensor dropped")
+	}
+	if _, keep := rule.Apply(Record{Sensor: "contacts", Time: t0}); keep {
+		t.Error("disallowed sensor kept")
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	day := &TimeWindow{StartHour: 8, EndHour: 20}
+	tests := []struct {
+		hour int
+		want bool
+	}{
+		{7, false}, {8, true}, {12, true}, {19, true}, {20, false}, {23, false},
+	}
+	for _, tt := range tests {
+		r := gpsRecord(lyon, time.Date(2014, 12, 8, tt.hour, 0, 0, 0, time.UTC))
+		if _, keep := day.Apply(r); keep != tt.want {
+			t.Errorf("hour %d: keep=%v, want %v", tt.hour, keep, tt.want)
+		}
+	}
+	// Overnight window.
+	night := &TimeWindow{StartHour: 22, EndHour: 6}
+	for _, tt := range []struct {
+		hour int
+		want bool
+	}{{23, true}, {2, true}, {6, false}, {12, false}, {22, true}} {
+		r := gpsRecord(lyon, time.Date(2014, 12, 8, tt.hour, 0, 0, 0, time.UTC))
+		if _, keep := night.Apply(r); keep != tt.want {
+			t.Errorf("overnight hour %d: keep=%v, want %v", tt.hour, keep, tt.want)
+		}
+	}
+}
+
+func TestZoneExclusion(t *testing.T) {
+	home := geo.Translate(lyon, 2000, 0)
+	rule := &ZoneExclusion{Centers: []geo.Point{home}, Radius: 300}
+	if _, keep := rule.Apply(gpsRecord(geo.Translate(home, 100, 0), t0)); keep {
+		t.Error("record inside zone kept")
+	}
+	if _, keep := rule.Apply(gpsRecord(lyon, t0)); !keep {
+		t.Error("record outside zone dropped")
+	}
+	// Records without location pass.
+	if _, keep := rule.Apply(Record{Sensor: "battery", Time: t0, Data: map[string]any{"level": 80.0}}); !keep {
+		t.Error("non-located record dropped")
+	}
+}
+
+func TestLocationBlur(t *testing.T) {
+	rule := &LocationBlur{CellSize: 400, Origin: lyon}
+	in := gpsRecord(geo.Translate(lyon, 130, 170), t0)
+	out, keep := rule.Apply(in)
+	if !keep {
+		t.Fatal("blurred record dropped")
+	}
+	lat := out.Data["lat"].(float64)
+	lon := out.Data["lon"].(float64)
+	blurred := geo.Point{Lat: lat, Lon: lon}
+	orig := geo.Point{Lat: in.Data["lat"].(float64), Lon: in.Data["lon"].(float64)}
+	if blurred == orig {
+		t.Error("blur did not move the point")
+	}
+	if d := geo.Distance(blurred, orig); d > 400 {
+		t.Errorf("blur moved point %f m, more than a cell", d)
+	}
+	// Input record untouched.
+	if in.Data["lat"].(float64) != orig.Lat {
+		t.Error("input mutated")
+	}
+	// Same cell points blur identically.
+	in2 := gpsRecord(geo.Translate(lyon, 150, 150), t0)
+	out2, _ := rule.Apply(in2)
+	if out.Data["lat"] != out2.Data["lat"] || out.Data["lon"] != out2.Data["lon"] {
+		t.Error("same-cell points blurred differently")
+	}
+}
+
+func TestFieldHash(t *testing.T) {
+	rule := &FieldHash{Fields: []string{"contact"}, Salt: []byte("device-salt")}
+	in := Record{Sensor: "calls", Time: t0, Data: map[string]any{
+		"contact":  "+33 6 12 34 56 78",
+		"duration": 42.0,
+	}}
+	out, keep := rule.Apply(in)
+	if !keep {
+		t.Fatal("record dropped")
+	}
+	hashed, ok := out.Data["contact"].(string)
+	if !ok || !strings.HasPrefix(hashed, "h:") {
+		t.Fatalf("contact = %v, want hashed", out.Data["contact"])
+	}
+	if out.Data["duration"] != 42.0 {
+		t.Error("unrelated field changed")
+	}
+	if in.Data["contact"] != "+33 6 12 34 56 78" {
+		t.Error("input mutated")
+	}
+	// Equality preserved, raw value hidden.
+	out2, _ := rule.Apply(in)
+	if out2.Data["contact"] != hashed {
+		t.Error("hash not deterministic")
+	}
+	other := Record{Sensor: "calls", Time: t0, Data: map[string]any{"contact": "+33 6 99 99 99 99"}}
+	outOther, _ := rule.Apply(other)
+	if outOther.Data["contact"] == hashed {
+		t.Error("different contacts collide")
+	}
+	// Records without the field pass through unchanged.
+	plain := Record{Sensor: "calls", Time: t0, Data: map[string]any{"duration": 1.0}}
+	outPlain, keep := rule.Apply(plain)
+	if !keep || outPlain.Data["duration"] != 1.0 {
+		t.Error("field-less record altered")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	rule := NewRateLimit(time.Minute)
+	r1 := gpsRecord(lyon, t0)
+	if _, keep := rule.Apply(r1); !keep {
+		t.Error("first record dropped")
+	}
+	if _, keep := rule.Apply(gpsRecord(lyon, t0.Add(10*time.Second))); keep {
+		t.Error("too-fast record kept")
+	}
+	if _, keep := rule.Apply(gpsRecord(lyon, t0.Add(61*time.Second))); !keep {
+		t.Error("spaced record dropped")
+	}
+	// Separate sensors have separate budgets.
+	b := Record{Sensor: "battery", Time: t0.Add(15 * time.Second), Data: map[string]any{"level": 50.0}}
+	if _, keep := rule.Apply(b); !keep {
+		t.Error("other sensor rate-limited")
+	}
+}
+
+func TestChainOrderAndDrop(t *testing.T) {
+	home := geo.Translate(lyon, 2000, 0)
+	chain := NewChain(
+		&SensorOptOut{Allowed: map[string]bool{"gps": true}},
+		&TimeWindow{StartHour: 8, EndHour: 20},
+		&ZoneExclusion{Centers: []geo.Point{home}, Radius: 300},
+		&LocationBlur{CellSize: 200, Origin: lyon},
+	)
+	if got := len(chain.Rules()); got != 4 {
+		t.Fatalf("chain has %d rules", got)
+	}
+	// Passing record: blurred but kept.
+	out, keep := chain.Apply(gpsRecord(lyon, t0))
+	if !keep {
+		t.Fatal("valid record dropped")
+	}
+	if out.Data["lat"] == lyon.Lat {
+		t.Error("blur did not run")
+	}
+	// Dropped by zone.
+	if _, keep := chain.Apply(gpsRecord(home, t0)); keep {
+		t.Error("zone record kept")
+	}
+	// Dropped by time.
+	if _, keep := chain.Apply(gpsRecord(lyon, time.Date(2014, 12, 8, 3, 0, 0, 0, time.UTC))); keep {
+		t.Error("night record kept")
+	}
+	// Dropped by sensor.
+	if _, keep := chain.Apply(Record{Sensor: "mic", Time: t0}); keep {
+		t.Error("mic record kept")
+	}
+	// Empty chain keeps everything.
+	if _, keep := NewChain().Apply(gpsRecord(lyon, t0)); !keep {
+		t.Error("empty chain dropped record")
+	}
+}

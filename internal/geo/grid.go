@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// BBox is an axis-aligned bounding box in WGS84 coordinates.
+type BBox struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// NewBBox returns the tightest bounding box containing all pts. The second
+// return value is false when pts is empty.
+func NewBBox(pts []Point) (BBox, bool) {
+	if len(pts) == 0 {
+		return BBox{}, false
+	}
+	b := BBox{
+		MinLat: pts[0].Lat, MaxLat: pts[0].Lat,
+		MinLon: pts[0].Lon, MaxLon: pts[0].Lon,
+	}
+	for _, p := range pts[1:] {
+		b = b.Extend(p)
+	}
+	return b, true
+}
+
+// Extend returns the bounding box enlarged to contain p.
+func (b BBox) Extend(p Point) BBox {
+	if p.Lat < b.MinLat {
+		b.MinLat = p.Lat
+	}
+	if p.Lat > b.MaxLat {
+		b.MaxLat = p.Lat
+	}
+	if p.Lon < b.MinLon {
+		b.MinLon = p.Lon
+	}
+	if p.Lon > b.MaxLon {
+		b.MaxLon = p.Lon
+	}
+	return b
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	return b.Extend(Point{Lat: o.MinLat, Lon: o.MinLon}).
+		Extend(Point{Lat: o.MaxLat, Lon: o.MaxLon})
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Center returns the box centre.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// Pad returns the box enlarged by the given margin in metres on every side.
+func (b BBox) Pad(margin float64) BBox {
+	dLat := margin / EarthRadius * radToDeg
+	cos := math.Cos(b.Center().Lat * degToRad)
+	if cos < 1e-9 {
+		cos = 1e-9
+	}
+	dLon := margin / (EarthRadius * cos) * radToDeg
+	return BBox{
+		MinLat: b.MinLat - dLat, MaxLat: b.MaxLat + dLat,
+		MinLon: b.MinLon - dLon, MaxLon: b.MaxLon + dLon,
+	}
+}
+
+// Cell identifies one cell of a Grid by row (latitude index) and column
+// (longitude index).
+type Cell struct {
+	Row int
+	Col int
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("r%dc%d", c.Row, c.Col) }
+
+// Grid partitions a bounding box into square cells of a fixed size in
+// metres. Grids are the spatial unit for crowd-density and traffic metrics.
+type Grid struct {
+	box      BBox
+	cellSize float64 // metres
+	rows     int
+	cols     int
+	dLat     float64 // degrees per row
+	dLon     float64 // degrees per col
+}
+
+// NewGrid builds a grid covering box with square cells of cellSize metres.
+// cellSize must be positive.
+func NewGrid(box BBox, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("geo: grid cell size must be positive, got %v", cellSize)
+	}
+	if box.MaxLat < box.MinLat || box.MaxLon < box.MinLon {
+		return nil, fmt.Errorf("geo: invalid bounding box %+v", box)
+	}
+	dLat := cellSize / EarthRadius * radToDeg
+	cos := math.Cos(box.Center().Lat * degToRad)
+	if cos < 1e-9 {
+		cos = 1e-9
+	}
+	dLon := cellSize / (EarthRadius * cos) * radToDeg
+
+	rows := int(math.Ceil((box.MaxLat-box.MinLat)/dLat)) + 1
+	cols := int(math.Ceil((box.MaxLon-box.MinLon)/dLon)) + 1
+	return &Grid{box: box, cellSize: cellSize, rows: rows, cols: cols, dLat: dLat, dLon: dLon}, nil
+}
+
+// CellSize returns the cell edge length in metres.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// Rows returns the number of rows in the grid.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of columns in the grid.
+func (g *Grid) Cols() int { return g.cols }
+
+// CellOf returns the cell containing p. Points outside the bounding box are
+// clamped to the border cells so that slightly-out-of-range protected
+// coordinates still land in a well-defined cell.
+func (g *Grid) CellOf(p Point) Cell {
+	row := int((p.Lat - g.box.MinLat) / g.dLat)
+	col := int((p.Lon - g.box.MinLon) / g.dLon)
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	return Cell{Row: row, Col: col}
+}
+
+// CenterOf returns the centre point of the given cell.
+func (g *Grid) CenterOf(c Cell) Point {
+	return Point{
+		Lat: g.box.MinLat + (float64(c.Row)+0.5)*g.dLat,
+		Lon: g.box.MinLon + (float64(c.Col)+0.5)*g.dLon,
+	}
+}
+
+// Snap returns p snapped to the centre of its cell. This implements simple
+// spatial cloaking / rounding.
+func (g *Grid) Snap(p Point) Point { return g.CenterOf(g.CellOf(p)) }

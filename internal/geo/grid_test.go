@@ -1,0 +1,139 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testBox(t *testing.T) BBox {
+	t.Helper()
+	b, ok := NewBBox([]Point{
+		Translate(lyon, -5000, -5000),
+		Translate(lyon, 5000, 5000),
+	})
+	if !ok {
+		t.Fatal("NewBBox returned no box")
+	}
+	return b
+}
+
+func TestNewBBox(t *testing.T) {
+	if _, ok := NewBBox(nil); ok {
+		t.Error("NewBBox(nil) should report no box")
+	}
+	pts := []Point{{1, 2}, {-3, 7}, {5, -1}}
+	b, ok := NewBBox(pts)
+	if !ok {
+		t.Fatal("NewBBox returned no box")
+	}
+	want := BBox{MinLat: -3, MaxLat: 5, MinLon: -1, MaxLon: 7}
+	if b != want {
+		t.Errorf("NewBBox = %+v, want %+v", b, want)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("box does not contain %v", p)
+		}
+	}
+}
+
+func TestBBoxUnionAndPad(t *testing.T) {
+	a := BBox{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	b := BBox{MinLat: 2, MaxLat: 3, MinLon: -2, MaxLon: 0.5}
+	u := a.Union(b)
+	want := BBox{MinLat: 0, MaxLat: 3, MinLon: -2, MaxLon: 1}
+	if u != want {
+		t.Errorf("Union = %+v, want %+v", u, want)
+	}
+
+	padded := a.Pad(1000)
+	if padded.MinLat >= a.MinLat || padded.MaxLat <= a.MaxLat ||
+		padded.MinLon >= a.MinLon || padded.MaxLon <= a.MaxLon {
+		t.Errorf("Pad did not enlarge the box: %+v", padded)
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	box := BBox{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	if _, err := NewGrid(box, 0); err == nil {
+		t.Error("NewGrid with zero cell size should fail")
+	}
+	if _, err := NewGrid(box, -5); err == nil {
+		t.Error("NewGrid with negative cell size should fail")
+	}
+	bad := BBox{MinLat: 1, MaxLat: 0, MinLon: 0, MaxLon: 1}
+	if _, err := NewGrid(bad, 100); err == nil {
+		t.Error("NewGrid with inverted box should fail")
+	}
+}
+
+func TestGridCellRoundTrip(t *testing.T) {
+	box := testBox(t)
+	g, err := NewGrid(box, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The centre of every cell must map back to that same cell.
+	for row := 0; row < g.Rows(); row += 3 {
+		for col := 0; col < g.Cols(); col += 3 {
+			c := Cell{Row: row, Col: col}
+			if got := g.CellOf(g.CenterOf(c)); got != c {
+				t.Fatalf("CellOf(CenterOf(%v)) = %v", c, got)
+			}
+		}
+	}
+}
+
+func TestGridSnapDistanceBound(t *testing.T) {
+	box := testBox(t)
+	g, err := NewGrid(box, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapping moves a point by at most half the cell diagonal.
+	maxMove := 250 * math.Sqrt2 / 2 * 1.01
+	f := func(dx, dy float64) bool {
+		p := Translate(lyon, math.Mod(dx, 4500), math.Mod(dy, 4500))
+		return Distance(p, g.Snap(p)) <= maxMove
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridClampsOutOfRange(t *testing.T) {
+	box := testBox(t)
+	g, err := NewGrid(box, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := Translate(lyon, 100000, 100000)
+	c := g.CellOf(far)
+	if c.Row != g.Rows()-1 || c.Col != g.Cols()-1 {
+		t.Errorf("far point clamped to %v, want last cell", c)
+	}
+	farNeg := Translate(lyon, -100000, -100000)
+	c = g.CellOf(farNeg)
+	if c.Row != 0 || c.Col != 0 {
+		t.Errorf("far negative point clamped to %v, want first cell", c)
+	}
+}
+
+func TestGridCellSizeAccuracy(t *testing.T) {
+	box := testBox(t)
+	g, err := NewGrid(box, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal and vertical neighbours must be ~250 m apart.
+	a := g.CenterOf(Cell{Row: 5, Col: 5})
+	right := g.CenterOf(Cell{Row: 5, Col: 6})
+	up := g.CenterOf(Cell{Row: 6, Col: 5})
+	if d := Distance(a, right); math.Abs(d-250) > 2.5 {
+		t.Errorf("horizontal neighbour distance = %f, want ~250", d)
+	}
+	if d := Distance(a, up); math.Abs(d-250) > 2.5 {
+		t.Errorf("vertical neighbour distance = %f, want ~250", d)
+	}
+}

@@ -1,0 +1,60 @@
+package geo
+
+import "math"
+
+// Projection is a local equirectangular (plate carrée) projection anchored at
+// an origin point. It maps WGS84 coordinates to a local East/North plane in
+// metres, which lets geometric algorithms (clustering, resampling, noise)
+// work in a flat space with negligible error at city scale.
+type Projection struct {
+	origin Point
+	cosLat float64
+}
+
+// NewProjection returns a local projection anchored at origin.
+func NewProjection(origin Point) *Projection {
+	return &Projection{
+		origin: origin,
+		cosLat: math.Cos(origin.Lat * degToRad),
+	}
+}
+
+// Origin returns the anchor point of the projection.
+func (pr *Projection) Origin() Point { return pr.origin }
+
+// XY is a position on the local plane, in metres East (X) and North (Y) of
+// the projection origin.
+type XY struct {
+	X float64
+	Y float64
+}
+
+// Forward projects a WGS84 point onto the local plane.
+func (pr *Projection) Forward(p Point) XY {
+	return XY{
+		X: (p.Lon - pr.origin.Lon) * degToRad * EarthRadius * pr.cosLat,
+		Y: (p.Lat - pr.origin.Lat) * degToRad * EarthRadius,
+	}
+}
+
+// Inverse maps a local-plane position back to WGS84.
+func (pr *Projection) Inverse(xy XY) Point {
+	return Point{
+		Lat: pr.origin.Lat + xy.Y/EarthRadius*radToDeg,
+		Lon: pr.origin.Lon + xy.X/(EarthRadius*pr.cosLat)*radToDeg,
+	}
+}
+
+// Dist returns the Euclidean distance in metres between two local positions.
+func Dist(a, b XY) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Translate returns p moved by dx metres East and dy metres North, computed
+// through a projection anchored at p itself.
+func Translate(p Point, dx, dy float64) Point {
+	pr := NewProjection(p)
+	return pr.Inverse(XY{X: dx, Y: dy})
+}

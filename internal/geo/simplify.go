@@ -1,0 +1,71 @@
+package geo
+
+// SimplifyIndices returns the indices of the points kept by Douglas-Peucker
+// polyline simplification with the given tolerance in metres. The first and
+// last indices are always kept; the input order is preserved.
+//
+// Simplification is both a compression tool (trace storage) and the
+// "generalisation" family of location-privacy baselines: dropping
+// intermediate points coarsens the path without displacing what remains.
+func SimplifyIndices(pts []Point, tolerance float64) []int {
+	if len(pts) <= 2 || tolerance <= 0 {
+		out := make([]int, len(pts))
+		for i := range pts {
+			out[i] = i
+		}
+		return out
+	}
+	pr := NewProjection(pts[0])
+	xys := make([]XY, len(pts))
+	for i, p := range pts {
+		xys[i] = pr.Forward(p)
+	}
+	keep := make([]bool, len(pts))
+	keep[0], keep[len(pts)-1] = true, true
+	douglasPeucker(xys, 0, len(pts)-1, tolerance, keep)
+
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// douglasPeucker marks the kept points between first and last (exclusive).
+func douglasPeucker(xys []XY, first, last int, tolerance float64, keep []bool) {
+	if last <= first+1 {
+		return
+	}
+	maxDist := -1.0
+	maxIdx := -1
+	for i := first + 1; i < last; i++ {
+		if d := pointSegmentDist(xys[i], xys[first], xys[last]); d > maxDist {
+			maxDist, maxIdx = d, i
+		}
+	}
+	if maxDist <= tolerance {
+		return
+	}
+	keep[maxIdx] = true
+	douglasPeucker(xys, first, maxIdx, tolerance, keep)
+	douglasPeucker(xys, maxIdx, last, tolerance, keep)
+}
+
+// pointSegmentDist is the distance from p to segment [a, b] on the plane.
+func pointSegmentDist(p, a, b XY) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return Dist(p, a)
+	}
+	t := ((p.X-a.X)*abx + (p.Y-a.Y)*aby) / l2
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return Dist(p, XY{X: a.X + t*abx, Y: a.Y + t*aby})
+}

@@ -1,0 +1,105 @@
+package geo
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyKeepsEndpoints(t *testing.T) {
+	pts := []Point{
+		lyon,
+		Translate(lyon, 100, 5),
+		Translate(lyon, 200, -5),
+		Translate(lyon, 300, 0),
+	}
+	kept := SimplifyIndices(pts, 50)
+	if kept[0] != 0 || kept[len(kept)-1] != len(pts)-1 {
+		t.Errorf("endpoints not kept: %v", kept)
+	}
+	// The zig of +/-5 m is below tolerance: only endpoints survive.
+	if len(kept) != 2 {
+		t.Errorf("kept %v, want just the endpoints", kept)
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	// A right-angle path: the corner must survive any tolerance smaller
+	// than its offset.
+	pts := []Point{
+		lyon,
+		Translate(lyon, 500, 0),
+		Translate(lyon, 1000, 0), // corner start
+		Translate(lyon, 1000, 500),
+		Translate(lyon, 1000, 1000),
+	}
+	kept := SimplifyIndices(pts, 100)
+	corner := false
+	for _, i := range kept {
+		if i == 2 {
+			corner = true
+		}
+	}
+	if !corner {
+		t.Errorf("corner dropped: kept %v", kept)
+	}
+}
+
+func TestSimplifySmallInputs(t *testing.T) {
+	if got := SimplifyIndices(nil, 10); len(got) != 0 {
+		t.Errorf("nil input kept %v", got)
+	}
+	one := []Point{lyon}
+	if got := SimplifyIndices(one, 10); len(got) != 1 {
+		t.Errorf("single point kept %v", got)
+	}
+	two := []Point{lyon, Translate(lyon, 10, 10)}
+	if got := SimplifyIndices(two, 10); len(got) != 2 {
+		t.Errorf("two points kept %v", got)
+	}
+	// Non-positive tolerance keeps everything.
+	three := []Point{lyon, Translate(lyon, 5, 5), Translate(lyon, 10, 0)}
+	if got := SimplifyIndices(three, 0); len(got) != 3 {
+		t.Errorf("zero tolerance kept %v", got)
+	}
+}
+
+func TestSimplifyErrorBoundProperty(t *testing.T) {
+	// Property: every dropped point lies within tolerance of the
+	// simplified polyline.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed%5000, seed^0xbeef))
+		pts := make([]Point, 60)
+		pos := lyon
+		for i := range pts {
+			pts[i] = pos
+			pos = Translate(pos, rng.NormFloat64()*120, rng.NormFloat64()*120)
+		}
+		const tol = 150.0
+		kept := SimplifyIndices(pts, tol)
+		pr := NewProjection(pts[0])
+		for i, p := range pts {
+			best := 1e18
+			for k := 1; k < len(kept); k++ {
+				d := pointSegmentDist(pr.Forward(p), pr.Forward(pts[kept[k-1]]), pr.Forward(pts[kept[k]]))
+				if d < best {
+					best = d
+				}
+			}
+			if best > tol*1.01 {
+				t.Logf("point %d deviates %f m", i, best)
+				return false
+			}
+		}
+		// Indices must be strictly increasing.
+		for k := 1; k < len(kept); k++ {
+			if kept[k] <= kept[k-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

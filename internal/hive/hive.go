@@ -1,0 +1,220 @@
+// Package hive implements the central service of the APISENSE platform
+// (§2 of the paper): "the Hive service, that is responsible for managing
+// the community of mobile users and publishing crowd-sensing tasks". Tasks
+// are uploaded by Honeycomb endpoints, offloaded to qualifying devices
+// (recruitment by shared sensors and optionally by region), and the
+// datasets the devices produce are ingested and handed back to the
+// publishing Honeycomb.
+//
+// The Hive is an in-memory, mutex-guarded registry wrapped by an HTTP API
+// (see server.go); it is deliberately dependency-free so it can run
+// in-process in tests and benchmarks or as the cmd/hive binary.
+package hive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"apisense/internal/geo"
+	"apisense/internal/transport"
+)
+
+// Sentinel errors of the registry API.
+var (
+	ErrUnknownDevice       = errors.New("hive: unknown device")
+	ErrUnknownTask         = errors.New("hive: unknown task")
+	ErrNotAssigned         = errors.New("hive: device not assigned to task")
+	ErrNoQualifyingDevices = errors.New("hive: no device qualifies for the task")
+)
+
+// Hive is the central coordination service.
+type Hive struct {
+	mu          sync.RWMutex
+	devices     map[string]transport.DeviceInfo
+	tasks       map[string]transport.TaskSpec
+	assignments map[string]map[string]bool // taskID -> deviceID set
+	uploads     map[string][]transport.Upload
+	nextTaskID  int
+	journal     *Journal // optional durability, see journal.go
+}
+
+// New creates an empty Hive.
+func New() *Hive {
+	return &Hive{
+		devices:     make(map[string]transport.DeviceInfo),
+		tasks:       make(map[string]transport.TaskSpec),
+		assignments: make(map[string]map[string]bool),
+		uploads:     make(map[string][]transport.Upload),
+	}
+}
+
+// RegisterDevice adds a device to the community. Re-registering the same ID
+// updates its info (battery level, position).
+func (h *Hive) RegisterDevice(info transport.DeviceInfo) error {
+	if info.ID == "" || info.User == "" {
+		return fmt.Errorf("hive: device id and user are required")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.devices[info.ID] = info
+	return h.logEvent(event{Kind: evRegister, Device: &info})
+}
+
+// UnregisterDevice removes a device; pending assignments are dropped.
+func (h *Hive) UnregisterDevice(id string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.devices[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDevice, id)
+	}
+	delete(h.devices, id)
+	for _, set := range h.assignments {
+		delete(set, id)
+	}
+	return h.logEvent(event{Kind: evUnregister, DeviceID: id})
+}
+
+// Devices returns the registered devices, sorted by ID.
+func (h *Hive) Devices() []transport.DeviceInfo {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]transport.DeviceInfo, 0, len(h.devices))
+	for _, d := range h.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// qualifies reports whether a device can serve a task.
+func qualifies(d transport.DeviceInfo, spec transport.TaskSpec) bool {
+	have := make(map[string]bool, len(d.Sensors))
+	for _, s := range d.Sensors {
+		have[s] = true
+	}
+	for _, s := range spec.Sensors {
+		if !have[s] {
+			return false
+		}
+	}
+	if spec.Region != nil {
+		center := geo.Point{Lat: spec.Region.Lat, Lon: spec.Region.Lon}
+		if geo.Distance(center, geo.Point{Lat: d.Lat, Lon: d.Lon}) > spec.Region.Radius {
+			return false
+		}
+	}
+	return true
+}
+
+// PublishTask validates the spec, assigns an ID, and recruits every
+// qualifying device. It returns the published spec (with ID) and the
+// recruited device IDs. Publishing a task no device qualifies for returns
+// ErrNoQualifyingDevices.
+func (h *Hive) PublishTask(spec transport.TaskSpec) (transport.TaskSpec, []string, error) {
+	if err := spec.Validate(); err != nil {
+		return transport.TaskSpec{}, nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextTaskID++
+	spec.ID = fmt.Sprintf("task-%04d", h.nextTaskID)
+
+	recruited := make(map[string]bool)
+	var ids []string
+	for id, d := range h.devices {
+		if qualifies(d, spec) {
+			recruited[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return transport.TaskSpec{}, nil, fmt.Errorf("%w: %s", ErrNoQualifyingDevices, spec.Name)
+	}
+	sort.Strings(ids)
+	h.tasks[spec.ID] = spec
+	h.assignments[spec.ID] = recruited
+	if err := h.logEvent(event{Kind: evPublish, Task: &spec, Recruited: ids}); err != nil {
+		return transport.TaskSpec{}, nil, err
+	}
+	return spec, ids, nil
+}
+
+// Task returns a published task by ID.
+func (h *Hive) Task(id string) (transport.TaskSpec, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	spec, ok := h.tasks[id]
+	if !ok {
+		return transport.TaskSpec{}, fmt.Errorf("%w: %s", ErrUnknownTask, id)
+	}
+	return spec, nil
+}
+
+// TasksFor returns the tasks assigned to a device, sorted by ID — the
+// offloading step: devices poll this to receive their scripts.
+func (h *Hive) TasksFor(deviceID string) ([]transport.TaskSpec, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if _, ok := h.devices[deviceID]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDevice, deviceID)
+	}
+	var out []transport.TaskSpec
+	for taskID, set := range h.assignments {
+		if set[deviceID] {
+			out = append(out, h.tasks[taskID])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// SubmitUpload ingests a dataset batch from a device.
+func (h *Hive) SubmitUpload(u transport.Upload) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.tasks[u.TaskID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, u.TaskID)
+	}
+	if _, ok := h.devices[u.DeviceID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDevice, u.DeviceID)
+	}
+	if !h.assignments[u.TaskID][u.DeviceID] {
+		return fmt.Errorf("%w: device %s, task %s", ErrNotAssigned, u.DeviceID, u.TaskID)
+	}
+	h.uploads[u.TaskID] = append(h.uploads[u.TaskID], u)
+	return h.logEvent(event{Kind: evUpload, Upload: &u})
+}
+
+// Uploads returns the ingested uploads of a task, in arrival order.
+func (h *Hive) Uploads(taskID string) ([]transport.Upload, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if _, ok := h.tasks[taskID]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTask, taskID)
+	}
+	return append([]transport.Upload(nil), h.uploads[taskID]...), nil
+}
+
+// Stats summarises the Hive state.
+type Stats struct {
+	Devices int `json:"devices"`
+	Tasks   int `json:"tasks"`
+	Uploads int `json:"uploads"`
+	Records int `json:"records"`
+}
+
+// Stats returns current platform statistics.
+func (h *Hive) Stats() Stats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s := Stats{Devices: len(h.devices), Tasks: len(h.tasks)}
+	for _, us := range h.uploads {
+		s.Uploads += len(us)
+		for _, u := range us {
+			s.Records += len(u.Records)
+		}
+	}
+	return s
+}

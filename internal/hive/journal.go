@@ -1,0 +1,183 @@
+package hive
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"apisense/internal/transport"
+)
+
+// Journal is an append-only JSONL log of Hive state mutations. Attached to
+// a Hive it records every successful registration, unregistration, task
+// publication and upload; Recover replays a journal file into a fresh Hive,
+// making the cmd/hive service restart-safe without a database.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// event is one journal entry. Exactly one payload field is set, selected by
+// Kind.
+type event struct {
+	Kind      string                `json:"kind"`
+	Device    *transport.DeviceInfo `json:"device,omitempty"`
+	DeviceID  string                `json:"deviceId,omitempty"`
+	Task      *transport.TaskSpec   `json:"task,omitempty"`
+	Recruited []string              `json:"recruited,omitempty"`
+	Upload    *transport.Upload     `json:"upload,omitempty"`
+}
+
+// Event kinds.
+const (
+	evRegister   = "register"
+	evUnregister = "unregister"
+	evPublish    = "publish"
+	evUpload     = "upload"
+)
+
+// OpenJournal opens (creating if needed) a journal file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hive: open journal %s: %w", path, err)
+	}
+	return &Journal{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// append writes one event.
+func (j *Journal) append(e event) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(e); err != nil {
+		return fmt.Errorf("hive: journal append: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("hive: close journal: %w", err)
+	}
+	return nil
+}
+
+// AttachJournal makes the Hive record every subsequent successful mutation.
+// Attach before serving traffic; existing state is not re-journalled.
+func (h *Hive) AttachJournal(j *Journal) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.journal = j
+}
+
+// logEvent writes e to the attached journal, if any. Called with h.mu held.
+func (h *Hive) logEvent(e event) error {
+	if h.journal == nil {
+		return nil
+	}
+	return h.journal.append(e)
+}
+
+// Recover replays the journal at path into a fresh Hive and reopens the
+// journal for appending, attaching it to the returned Hive. A missing file
+// yields an empty Hive with a fresh journal.
+func Recover(path string) (*Hive, *Journal, error) {
+	h := New()
+	f, err := os.Open(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Nothing to replay.
+	case err != nil:
+		return nil, nil, fmt.Errorf("hive: open journal %s: %w", path, err)
+	default:
+		if err := h.replay(f); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, fmt.Errorf("hive: close journal %s: %w", path, err)
+		}
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.AttachJournal(j)
+	return h, j, nil
+}
+
+// replay applies journal events from r.
+func (h *Hive) replay(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("hive: journal line %d: %w", line, err)
+		}
+		if err := h.apply(e); err != nil {
+			return fmt.Errorf("hive: journal line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("hive: read journal: %w", err)
+	}
+	return nil
+}
+
+// apply restores one event's effect without re-journalling it. Publication
+// events restore the stored recruitment verbatim instead of re-running
+// recruitment, so that replay is deterministic regardless of current state.
+func (h *Hive) apply(e event) error {
+	switch e.Kind {
+	case evRegister:
+		if e.Device == nil {
+			return fmt.Errorf("register event lacks device")
+		}
+		h.devices[e.Device.ID] = *e.Device
+		return nil
+	case evUnregister:
+		delete(h.devices, e.DeviceID)
+		for _, set := range h.assignments {
+			delete(set, e.DeviceID)
+		}
+		return nil
+	case evPublish:
+		if e.Task == nil || e.Task.ID == "" {
+			return fmt.Errorf("publish event lacks task")
+		}
+		h.tasks[e.Task.ID] = *e.Task
+		set := make(map[string]bool, len(e.Recruited))
+		for _, id := range e.Recruited {
+			set[id] = true
+		}
+		h.assignments[e.Task.ID] = set
+		// Keep the ID counter ahead of every restored task.
+		var n int
+		if _, err := fmt.Sscanf(e.Task.ID, "task-%d", &n); err == nil && n > h.nextTaskID {
+			h.nextTaskID = n
+		}
+		return nil
+	case evUpload:
+		if e.Upload == nil {
+			return fmt.Errorf("upload event lacks payload")
+		}
+		h.uploads[e.Upload.TaskID] = append(h.uploads[e.Upload.TaskID], *e.Upload)
+		return nil
+	default:
+		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+}

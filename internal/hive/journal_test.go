@@ -1,0 +1,130 @@
+package hive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apisense/internal/transport"
+)
+
+func TestJournalRecoverRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hive.journal")
+
+	// First life: build some state.
+	h1, j1, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, h1.RegisterDevice(deviceInfo("d1", "alice", 45.7, 4.8)))
+	must(t, h1.RegisterDevice(deviceInfo("d2", "bob", 45.7, 4.8)))
+	must(t, h1.RegisterDevice(deviceInfo("gone", "eve", 45.7, 4.8)))
+	spec, recruited, err := h1.PublishTask(taskSpec("persisted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, h1.SubmitUpload(transport.Upload{
+		TaskID: spec.ID, DeviceID: "d1",
+		Records: []transport.UploadRecord{{Sensor: "gps", TimeMillis: 1, Data: map[string]any{"lat": 45.7, "lon": 4.8}}},
+	}))
+	must(t, h1.UnregisterDevice("gone"))
+	statsBefore := h1.Stats()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: replay.
+	h2, j2, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+
+	if got := h2.Stats(); got != statsBefore {
+		t.Errorf("recovered stats = %+v, want %+v", got, statsBefore)
+	}
+	devs := h2.Devices()
+	if len(devs) != 2 || devs[0].ID != "d1" || devs[1].ID != "d2" {
+		t.Errorf("recovered devices = %+v", devs)
+	}
+	got, err := h2.Task(spec.ID)
+	if err != nil || got.Name != "persisted" {
+		t.Errorf("recovered task = %+v, %v", got, err)
+	}
+	tasks, err := h2.TasksFor("d1")
+	if err != nil || len(tasks) != 1 {
+		t.Errorf("recovered assignment: %v, %v", tasks, err)
+	}
+	ups, err := h2.Uploads(spec.ID)
+	if err != nil || len(ups) != 1 || len(ups[0].Records) != 1 {
+		t.Errorf("recovered uploads: %v, %v", ups, err)
+	}
+	_ = recruited
+
+	// Task ID counter resumed: a new task must not collide.
+	must(t, h2.RegisterDevice(deviceInfo("d3", "carol", 45.7, 4.8)))
+	spec2, _, err := h2.PublishTask(taskSpec("after-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.ID == spec.ID {
+		t.Errorf("task id collision after recovery: %s", spec2.ID)
+	}
+}
+
+func TestRecoverMissingFileStartsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.journal")
+	h, j, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if got := h.Stats(); got != (Stats{}) {
+		t.Errorf("fresh hive stats = %+v", got)
+	}
+	// And it journals from the start.
+	must(t, h.RegisterDevice(deviceInfo("d1", "alice", 45.7, 4.8)))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("journal file empty after a mutation")
+	}
+}
+
+func TestRecoverRejectsCorruptJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.journal")
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(path); err == nil {
+		t.Error("corrupt journal should fail recovery")
+	}
+
+	unknown := filepath.Join(t.TempDir(), "unknown.journal")
+	if err := os.WriteFile(unknown, []byte(`{"kind":"martian"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(unknown); err == nil {
+		t.Error("unknown event kind should fail recovery")
+	}
+}
+
+func TestJournalSkipsBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blank.journal")
+	content := `{"kind":"register","device":{"id":"d1","user":"alice","sensors":["gps"],"battery":90,"lat":45.7,"lon":4.8}}
+
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, j, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(h.Devices()) != 1 {
+		t.Errorf("devices = %d, want 1", len(h.Devices()))
+	}
+}

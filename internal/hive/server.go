@@ -1,0 +1,170 @@
+package hive
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"apisense/internal/transport"
+)
+
+// Server exposes a Hive over HTTP/JSON. Routes:
+//
+//	POST   /api/devices               register a device
+//	GET    /api/devices               list devices
+//	DELETE /api/devices/{id}          unregister
+//	GET    /api/devices/{id}/tasks    tasks offloaded to the device
+//	POST   /api/tasks                 publish a task (returns spec + recruits)
+//	GET    /api/tasks/{id}            fetch a task
+//	GET    /api/tasks/{id}/uploads    collected uploads
+//	POST   /api/uploads               submit an upload
+//	GET    /api/stats                 platform statistics
+type Server struct {
+	hive *Hive
+	mux  *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps a Hive with its HTTP API.
+func NewServer(h *Hive) *Server {
+	s := &Server{hive: h, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/devices", s.handleRegister)
+	s.mux.HandleFunc("GET /api/devices", s.handleListDevices)
+	s.mux.HandleFunc("DELETE /api/devices/{id}", s.handleUnregister)
+	s.mux.HandleFunc("GET /api/devices/{id}/tasks", s.handleDeviceTasks)
+	s.mux.HandleFunc("POST /api/tasks", s.handlePublish)
+	s.mux.HandleFunc("GET /api/tasks/{id}", s.handleGetTask)
+	s.mux.HandleFunc("GET /api/tasks/{id}/uploads", s.handleUploadsOf)
+	s.mux.HandleFunc("POST /api/uploads", s.handleSubmitUpload)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownDevice), errors.Is(err, ErrUnknownTask):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotAssigned):
+		code = http.StatusForbidden
+	case errors.Is(err, ErrNoQualifyingDevices):
+		code = http.StatusConflict
+	default:
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("hive: decode request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var info transport.DeviceInfo
+	if err := decode(r, &info); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.hive.RegisterDevice(info); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListDevices(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.hive.Devices())
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.hive.UnregisterDevice(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unregistered"})
+}
+
+func (s *Server) handleDeviceTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, err := s.hive.TasksFor(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if tasks == nil {
+		tasks = []transport.TaskSpec{}
+	}
+	writeJSON(w, http.StatusOK, tasks)
+}
+
+// PublishResponse is the result of POST /api/tasks.
+type PublishResponse struct {
+	Task      transport.TaskSpec `json:"task"`
+	Recruited []string           `json:"recruited"`
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var spec transport.TaskSpec
+	if err := decode(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	published, recruited, err := s.hive.PublishTask(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PublishResponse{Task: published, Recruited: recruited})
+}
+
+func (s *Server) handleGetTask(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.hive.Task(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, spec)
+}
+
+func (s *Server) handleUploadsOf(w http.ResponseWriter, r *http.Request) {
+	ups, err := s.hive.Uploads(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if ups == nil {
+		ups = []transport.Upload{}
+	}
+	writeJSON(w, http.StatusOK, ups)
+}
+
+func (s *Server) handleSubmitUpload(w http.ResponseWriter, r *http.Request) {
+	var u transport.Upload
+	if err := decode(r, &u); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.hive.SubmitUpload(u); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.hive.Stats())
+}

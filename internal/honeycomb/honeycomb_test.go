@@ -1,0 +1,209 @@
+package honeycomb
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"apisense/internal/core"
+	"apisense/internal/device"
+	"apisense/internal/hive"
+	"apisense/internal/mobgen"
+	"apisense/internal/trace"
+	"apisense/internal/transport"
+)
+
+const gpsTask = `
+sensor.gps.onLocationChanged(function(loc) {
+  dataset.save({lat: loc.lat, lon: loc.lon});
+});
+`
+
+// platform spins up a Hive HTTP server with simulated devices following
+// generated mobility, returning the honeycomb, devices, ground truth and
+// the Hive base URL.
+func platform(t *testing.T, users, days int) (*Honeycomb, []*device.Device, *mobgen.City, string) {
+	t.Helper()
+	ds, city, err := mobgen.Generate(mobgen.Config{
+		Seed: 31, Users: users, Days: days,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hive.New()
+	srv := httptest.NewServer(hive.NewServer(h))
+	t.Cleanup(srv.Close)
+
+	// One device per user, following that user's first-day movement.
+	byUser := ds.ByUser()
+	var devices []*device.Device
+	for i, res := range city.Residents {
+		move := byUser[res.User][0]
+		d, err := device.New(device.Config{
+			ID: res.User + "-phone", User: res.User, Movement: move,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.RegisterDevice(d.Info()); err != nil {
+			t.Fatal(err)
+		}
+		devices = append(devices, d)
+		_ = i
+	}
+
+	hc, err := New("lab", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hc, devices, city, srv.URL
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", "http://x"); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := New("lab", ""); err == nil {
+		t.Error("empty hive URL should fail")
+	}
+}
+
+func TestEndToEndCollection(t *testing.T) {
+	hc, devices, _, hiveURL := platform(t, 4, 1)
+	ctx := context.Background()
+
+	spec := transport.TaskSpec{
+		Name: "gps-collect", Script: gpsTask,
+		PeriodSeconds: 120, Sensors: []string{"gps"},
+	}
+	published, recruited, err := hc.Deploy(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if published.Author != "lab" {
+		t.Errorf("author = %q", published.Author)
+	}
+	if len(recruited) != 4 {
+		t.Fatalf("recruited %d devices, want 4", len(recruited))
+	}
+
+	// Devices execute and upload through the client path.
+	cl := transport.NewClient(hiveURL)
+	for _, d := range devices {
+		res, err := d.RunTask(published)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Do(ctx, "POST", "/api/uploads", res.Upload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ups, err := hc.Collect(ctx, published.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 4 {
+		t.Fatalf("collected %d uploads, want 4", len(ups))
+	}
+	if hc.Store().Records() == 0 {
+		t.Error("store is empty")
+	}
+	if got := hc.Store().Tasks(); len(got) != 1 || got[0] != published.ID {
+		t.Errorf("store tasks = %v", got)
+	}
+
+	users, err := hc.DeviceUsers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := hc.BuildDataset(published.ID, users)
+	if ds.Len() != 4 {
+		t.Fatalf("dataset has %d trajectories, want 4", ds.Len())
+	}
+	for _, tr := range ds.Trajectories {
+		if !strings.HasPrefix(tr.User, "user-") {
+			t.Errorf("trajectory user = %q, want contributor id", tr.User)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trajectory invalid: %v", err)
+		}
+		if tr.Len() < 100 {
+			t.Errorf("trajectory has only %d records", tr.Len())
+		}
+	}
+}
+
+func TestUploadsToDataset(t *testing.T) {
+	ups := []transport.Upload{
+		{DeviceID: "d1", Records: []transport.UploadRecord{
+			{Sensor: "gps", TimeMillis: 2000, Data: map[string]any{"lat": 45.7, "lon": 4.8}},
+			{Sensor: "gps", TimeMillis: 1000, Data: map[string]any{"lat": 45.71, "lon": 4.81}},
+			{Sensor: "battery", TimeMillis: 1500, Data: map[string]any{"level": 90.0}},
+		}},
+		{DeviceID: "d2", Records: []transport.UploadRecord{
+			{Sensor: "gps", TimeMillis: 1000, Data: map[string]any{"lat": 45.9, "lon": 4.9}},
+		}},
+		{DeviceID: "empty", Records: nil},
+	}
+	ds := UploadsToDataset(ups, map[string]string{"d1": "alice"})
+	if ds.Len() != 2 {
+		t.Fatalf("dataset has %d trajectories, want 2", ds.Len())
+	}
+	// d1: records sorted by time, battery skipped.
+	if ds.Trajectories[0].User != "alice" || ds.Trajectories[0].Len() != 2 {
+		t.Errorf("first trajectory = %s/%d", ds.Trajectories[0].User, ds.Trajectories[0].Len())
+	}
+	if !ds.Trajectories[0].Records[0].Time.Before(ds.Trajectories[0].Records[1].Time) {
+		t.Error("records not sorted")
+	}
+	// d2 falls back to device id.
+	if ds.Trajectories[1].User != "d2" {
+		t.Errorf("fallback user = %q", ds.Trajectories[1].User)
+	}
+}
+
+func TestPublishPrivateIntegration(t *testing.T) {
+	// Full pipeline: synthetic dataset -> PRIVAPI -> protected release.
+	ds, _, err := mobgen.Generate(mobgen.Config{Seed: 33, Users: 6, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := New("lab", "http://unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, sel, err := hc.PublishPrivate(ds, core.Config{PseudonymKey: []byte("r1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Chosen == "" {
+		t.Fatal("no strategy chosen")
+	}
+	if release.Len() == 0 {
+		t.Fatal("empty release")
+	}
+	for _, tr := range release.Trajectories {
+		if strings.HasPrefix(tr.User, "user-") {
+			t.Fatal("release leaks raw user ids")
+		}
+	}
+	// Publishing an empty dataset fails cleanly.
+	if _, _, err := hc.PublishPrivate(trace.NewDataset(), core.Config{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestStoreIdempotentCollect(t *testing.T) {
+	s := NewStore()
+	ups := []transport.Upload{{TaskID: "t", DeviceID: "d", Records: []transport.UploadRecord{{Sensor: "gps"}}}}
+	s.AddUploads("t", ups)
+	s.AddUploads("t", ups) // re-collect: replaces, not duplicates
+	if got := len(s.Uploads("t")); got != 1 {
+		t.Errorf("stored %d uploads, want 1", got)
+	}
+	if s.Records() != 1 {
+		t.Errorf("records = %d, want 1", s.Records())
+	}
+}

@@ -1,0 +1,159 @@
+package incentive
+
+import (
+	"testing"
+)
+
+func population(t *testing.T, n int) *Population {
+	t.Helper()
+	p, err := NewPopulation(n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	if _, err := NewPopulation(0, 1); err == nil {
+		t.Error("zero population should fail")
+	}
+	if _, err := NewPopulation(-3, 1); err == nil {
+		t.Error("negative population should fail")
+	}
+}
+
+func TestPopulationDeterministicAndBounded(t *testing.T) {
+	a := population(t, 50)
+	b := population(t, 50)
+	for i := range a.Users {
+		ua, ub := a.Users[i], b.Users[i]
+		if ua.Altruism != ub.Altruism || ua.Sensitivity != ub.Sensitivity {
+			t.Fatal("same seed produced different traits")
+		}
+		for _, v := range []float64{ua.Altruism, ua.Sensitivity, ua.Competitiveness} {
+			if v < 0 || v > 1 {
+				t.Fatalf("trait %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(population(t, 10), None{}, 0); err == nil {
+		t.Error("zero days should fail")
+	}
+}
+
+func TestBaselineFatigues(t *testing.T) {
+	res, err := Simulate(population(t, 300), None{}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Fatal("nobody ever contributed")
+	}
+	if res.Retention >= 0.9 {
+		t.Errorf("baseline retention = %.2f, want visible churn (< 0.9)", res.Retention)
+	}
+	if len(res.Daily) != 30 {
+		t.Errorf("daily series has %d days", len(res.Daily))
+	}
+	if res.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestEveryIncentiveBeatsBaseline(t *testing.T) {
+	days := 30
+	base, err := Simulate(population(t, 300), None{}, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []Strategy{Feedback{}, NewRanking(), NewRewarding(), NewWinWin()}
+	for _, s := range strategies {
+		res, err := Simulate(population(t, 300), s, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total <= base.Total {
+			t.Errorf("%s total %d does not beat baseline %d", s.Name(), res.Total, base.Total)
+		}
+	}
+}
+
+func TestWinWinRetention(t *testing.T) {
+	// The defining shape of win-win: strong retention once unlocked.
+	days := 30
+	base, err := Simulate(population(t, 400), None{}, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := Simulate(population(t, 400), NewWinWin(), days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ww.Retention <= base.Retention {
+		t.Errorf("win-win retention %.2f should beat baseline %.2f", ww.Retention, base.Retention)
+	}
+}
+
+func TestRewardingSaturates(t *testing.T) {
+	rw := NewRewarding()
+	fresh := &Contributor{ID: "a", Sensitivity: 0.8}
+	rich := &Contributor{ID: "b", Sensitivity: 0.8, Points: 1000}
+	if rw.Boost(fresh, 0) <= rw.Boost(rich, 0) {
+		t.Error("reward boost should decay with accumulated points")
+	}
+	rw.After(fresh, 0, true)
+	if fresh.Points != rw.PointsPerContribution {
+		t.Errorf("points = %v", fresh.Points)
+	}
+	rw.After(fresh, 1, false)
+	if fresh.Points != rw.PointsPerContribution {
+		t.Error("points granted without contribution")
+	}
+}
+
+func TestRankingBoostsTopUsers(t *testing.T) {
+	r := NewRanking()
+	top := &Contributor{ID: "top", Competitiveness: 0.8, Contributions: 50}
+	bottom := &Contributor{ID: "bottom", Competitiveness: 0.8, Contributions: 1}
+	r.Rebuild([]*Contributor{top, bottom})
+	if r.Boost(top, 0) <= r.Boost(bottom, 0) {
+		t.Error("leaderboard leader should be boosted more than the tail")
+	}
+}
+
+func TestWinWinStates(t *testing.T) {
+	w := NewWinWin()
+	locked := &Contributor{ID: "l", Sensitivity: 0.5, Contributions: 0, LastActive: -1}
+	active := &Contributor{ID: "a", Sensitivity: 0.5, Contributions: 5, LastActive: 9}
+	lapsed := &Contributor{ID: "x", Sensitivity: 0.5, Contributions: 5, LastActive: 0}
+	day := 10
+	bLocked := w.Boost(locked, day)
+	bActive := w.Boost(active, day)
+	bLapsed := w.Boost(lapsed, day)
+	if !(bActive > bLapsed && bActive > bLocked) {
+		t.Errorf("boosts locked=%.3f active=%.3f lapsed=%.3f; active must dominate",
+			bLocked, bActive, bLapsed)
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	a, err := Simulate(population(t, 100), Feedback{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(population(t, 100), Feedback{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Errorf("same seed, different totals: %d vs %d", a.Total, b.Total)
+	}
+	for i := range a.Daily {
+		if a.Daily[i] != b.Daily[i] {
+			t.Fatal("daily series diverged")
+		}
+	}
+}

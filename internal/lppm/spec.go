@@ -1,0 +1,122 @@
+package lppm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"apisense/internal/geo"
+)
+
+// FromSpec builds a mechanism from a textual specification of the form
+// "name" or "name:key=value,key=value". It is the format accepted by the
+// privapi command-line tool and by task manifests.
+//
+// Recognised specs:
+//
+//	identity
+//	geoind:eps=0.01[,seed=N]
+//	gaussian:sigma=120[,seed=N]
+//	cloaking:cell=400[,lat=45.76,lon=4.83]
+//	downsample:k=10
+//	simplify:tol=100
+//	smoothing:eps=100[,trim=2]
+func FromSpec(spec string) (Mechanism, error) {
+	name, argStr, _ := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	args := map[string]string{}
+	if argStr != "" {
+		for _, kv := range strings.Split(argStr, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("lppm: malformed argument %q in spec %q", kv, spec)
+			}
+			args[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	getF := func(key string, def float64) (float64, error) {
+		s, ok := args[key]
+		if !ok {
+			return def, nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("lppm: spec %q: bad %s: %w", spec, key, err)
+		}
+		return v, nil
+	}
+	getI := func(key string, def int) (int, error) {
+		s, ok := args[key]
+		if !ok {
+			return def, nil
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("lppm: spec %q: bad %s: %w", spec, key, err)
+		}
+		return v, nil
+	}
+
+	switch name {
+	case "identity":
+		return Identity{}, nil
+	case "geoind":
+		eps, err := getF("eps", 0.01)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := getI("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewGeoInd(eps, uint64(seed))
+	case "gaussian":
+		sigma, err := getF("sigma", 100)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := getI("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewGaussianNoise(sigma, uint64(seed))
+	case "cloaking":
+		cell, err := getF("cell", 400)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := getF("lat", 0)
+		if err != nil {
+			return nil, err
+		}
+		lon, err := getF("lon", 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewCloaking(cell, geo.Point{Lat: lat, Lon: lon})
+	case "downsample":
+		k, err := getI("k", 10)
+		if err != nil {
+			return nil, err
+		}
+		return NewDownsample(k)
+	case "simplify":
+		tol, err := getF("tol", 100)
+		if err != nil {
+			return nil, err
+		}
+		return NewSimplify(tol)
+	case "smoothing":
+		eps, err := getF("eps", 100)
+		if err != nil {
+			return nil, err
+		}
+		trim, err := getI("trim", 2)
+		if err != nil {
+			return nil, err
+		}
+		return NewSpeedSmoothing(eps, trim)
+	default:
+		return nil, fmt.Errorf("lppm: unknown mechanism %q", name)
+	}
+}

@@ -1,0 +1,131 @@
+// Package metrics implements the utility metrics of the paper's claim C3:
+// a protected release "remains high[ly useful] for useful data mining tasks
+// such as finding out crowded places or predicting traffic".
+//
+// It provides crowd-density analysis (top-k crowded cells and their overlap
+// between raw and protected data), a per-cell-per-hour traffic forecaster
+// with its error metrics, time-aligned spatial distortion, and spatial
+// coverage.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"apisense/internal/geo"
+	"apisense/internal/trace"
+)
+
+// Density maps grid cells to an activity score.
+type Density map[geo.Cell]float64
+
+// UserDensity counts the number of distinct users seen in each cell — the
+// "crowded places" measure of the paper.
+func UserDensity(d *trace.Dataset, g *geo.Grid) Density {
+	seen := make(map[geo.Cell]map[string]bool)
+	for _, t := range d.Trajectories {
+		for _, r := range t.Records {
+			c := g.CellOf(r.Pos)
+			users, ok := seen[c]
+			if !ok {
+				users = make(map[string]bool)
+				seen[c] = users
+			}
+			users[t.User] = true
+		}
+	}
+	out := make(Density, len(seen))
+	for c, users := range seen {
+		out[c] = float64(len(users))
+	}
+	return out
+}
+
+// FixDensity counts the number of fixes in each cell.
+func FixDensity(d *trace.Dataset, g *geo.Grid) Density {
+	out := make(Density)
+	for _, t := range d.Trajectories {
+		for _, r := range t.Records {
+			out[g.CellOf(r.Pos)]++
+		}
+	}
+	return out
+}
+
+// TopK returns the k densest cells, ties broken deterministically by cell
+// coordinates. It returns fewer than k cells when the density has fewer
+// non-zero entries.
+func TopK(den Density, k int) []geo.Cell {
+	cells := make([]geo.Cell, 0, len(den))
+	for c := range den {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if den[a] != den[b] {
+			return den[a] > den[b]
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	if len(cells) > k {
+		cells = cells[:k]
+	}
+	return cells
+}
+
+// TopKOverlap compares the top-k cells of two densities and returns the F1
+// overlap (equal to precision and recall when both sides yield k cells).
+// This is the "finding out crowded places" utility score: 1 means the
+// protected release identifies exactly the same hotspots as the raw data.
+func TopKOverlap(raw, protected Density, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	a := TopK(raw, k)
+	b := TopK(protected, k)
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[geo.Cell]bool, len(a))
+	for _, c := range a {
+		set[c] = true
+	}
+	var inter int
+	for _, c := range b {
+		if set[c] {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// Coverage returns the fraction of cells visited in the raw dataset that
+// are also visited in the protected release.
+func Coverage(raw, protected *trace.Dataset, g *geo.Grid) float64 {
+	rd := FixDensity(raw, g)
+	if len(rd) == 0 {
+		return 0
+	}
+	pd := FixDensity(protected, g)
+	var kept int
+	for c := range rd {
+		if pd[c] > 0 {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(rd))
+}
+
+// HotspotReport is a printable summary of crowd-density utility.
+type HotspotReport struct {
+	K       int
+	Overlap float64
+}
+
+// String implements fmt.Stringer.
+func (h HotspotReport) String() string {
+	return fmt.Sprintf("top-%d overlap=%.2f", h.K, h.Overlap)
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"apisense/internal/geo"
+	"apisense/internal/trace"
+)
+
+// DistortionStats summarises the time-aligned spatial distortion between a
+// raw dataset and its protected release: for every protected record, the
+// distance to where the user actually was at that instant.
+type DistortionStats struct {
+	Mean   float64
+	Median float64
+	P95    float64
+	Max    float64
+	Points int
+}
+
+// String implements fmt.Stringer.
+func (s DistortionStats) String() string {
+	return fmt.Sprintf("mean=%.0fm median=%.0fm p95=%.0fm max=%.0fm (%d points)",
+		s.Mean, s.Median, s.P95, s.Max, s.Points)
+}
+
+// SpatialDistortion measures how far each protected record is from the
+// user's true (interpolated) position at the same instant. Raw and
+// protected are matched per user; protected records outside the raw time
+// span are skipped. Mechanisms that displace points in space (noise,
+// cloaking) score by their noise amplitude; mechanisms that displace points
+// in time (speed smoothing) score by how far along the path the release has
+// shifted the user.
+func SpatialDistortion(raw, protected *trace.Dataset) DistortionStats {
+	rawByUser := raw.ByUser()
+	var dists []float64
+	for _, pt := range protected.Trajectories {
+		rawTrajs := rawByUser[pt.User]
+		if len(rawTrajs) == 0 {
+			continue
+		}
+		for _, r := range pt.Records {
+			truePos, ok := positionAt(rawTrajs, r.Time)
+			if !ok {
+				continue
+			}
+			dists = append(dists, geo.Distance(truePos, r.Pos))
+		}
+	}
+	return summarize(dists)
+}
+
+// positionAt finds the user's interpolated position at ts across their raw
+// trajectories.
+func positionAt(trajs []*trace.Trajectory, ts time.Time) (geo.Point, bool) {
+	for _, t := range trajs {
+		if p, ok := t.At(ts); ok {
+			return p, true
+		}
+	}
+	return geo.Point{}, false
+}
+
+func summarize(dists []float64) DistortionStats {
+	if len(dists) == 0 {
+		return DistortionStats{}
+	}
+	sort.Float64s(dists)
+	var sum float64
+	for _, d := range dists {
+		sum += d
+	}
+	idx := func(q float64) int {
+		i := int(math.Ceil(q*float64(len(dists)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(dists) {
+			i = len(dists) - 1
+		}
+		return i
+	}
+	return DistortionStats{
+		Mean:   sum / float64(len(dists)),
+		Median: dists[idx(0.5)],
+		P95:    dists[idx(0.95)],
+		Max:    dists[len(dists)-1],
+		Points: len(dists),
+	}
+}

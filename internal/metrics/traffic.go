@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"apisense/internal/geo"
+	"apisense/internal/trace"
+)
+
+// CellHour identifies one grid cell during one hour of the day (0-23).
+type CellHour struct {
+	Cell geo.Cell
+	Hour int
+}
+
+// TrafficCounts accumulates, for every (cell, hour-of-day), the number of
+// distinct user visits per calendar day. A visit is counted once per user
+// per cell per hour per day.
+type TrafficCounts struct {
+	// Visits[ch][day] is the visit count for day (formatted 2006-01-02).
+	Visits map[CellHour]map[string]float64
+	// Days is the set of days observed.
+	Days map[string]bool
+}
+
+// CountTraffic builds traffic counts for the dataset on the given grid.
+func CountTraffic(d *trace.Dataset, g *geo.Grid) *TrafficCounts {
+	tc := &TrafficCounts{
+		Visits: make(map[CellHour]map[string]float64),
+		Days:   make(map[string]bool),
+	}
+	type visitKey struct {
+		ch   CellHour
+		day  string
+		user string
+	}
+	seen := make(map[visitKey]bool)
+	for _, t := range d.Trajectories {
+		for _, r := range t.Records {
+			utc := r.Time.UTC()
+			ch := CellHour{Cell: g.CellOf(r.Pos), Hour: utc.Hour()}
+			day := utc.Format("2006-01-02")
+			k := visitKey{ch: ch, day: day, user: t.User}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tc.Days[day] = true
+			byDay, ok := tc.Visits[ch]
+			if !ok {
+				byDay = make(map[string]float64)
+				tc.Visits[ch] = byDay
+			}
+			byDay[day]++
+		}
+	}
+	return tc
+}
+
+// Forecaster predicts per-(cell,hour) visit counts as the historical mean
+// over the training days — the standard baseline for urban traffic
+// prediction and the data-mining task of the paper's claim C3.
+type Forecaster struct {
+	mean map[CellHour]float64
+	days int
+}
+
+// NewForecaster trains a historical-average forecaster from counts.
+func NewForecaster(tc *TrafficCounts) (*Forecaster, error) {
+	if len(tc.Days) == 0 {
+		return nil, fmt.Errorf("metrics: no training days")
+	}
+	f := &Forecaster{mean: make(map[CellHour]float64, len(tc.Visits)), days: len(tc.Days)}
+	for ch, byDay := range tc.Visits {
+		var sum float64
+		for _, v := range byDay {
+			sum += v
+		}
+		f.mean[ch] = sum / float64(len(tc.Days))
+	}
+	return f, nil
+}
+
+// Predict returns the expected visit count for a cell-hour.
+func (f *Forecaster) Predict(ch CellHour) float64 { return f.mean[ch] }
+
+// ForecastError summarises forecast accuracy over a test day.
+type ForecastError struct {
+	MAE   float64 // mean absolute error over active cell-hours
+	RMSE  float64
+	Cells int // number of cell-hours evaluated
+}
+
+// String implements fmt.Stringer.
+func (e ForecastError) String() string {
+	return fmt.Sprintf("mae=%.3f rmse=%.3f over %d cell-hours", e.MAE, e.RMSE, e.Cells)
+}
+
+// Evaluate compares the forecaster against the actual counts of a test
+// dataset (typically one held-out raw day). Every cell-hour active in
+// either the forecast or the actual data is scored, so both missed traffic
+// and hallucinated traffic count as error.
+func (f *Forecaster) Evaluate(actual *TrafficCounts) ForecastError {
+	if len(actual.Days) == 0 {
+		return ForecastError{}
+	}
+	// Average actual per cell-hour across the test days.
+	act := make(map[CellHour]float64, len(actual.Visits))
+	for ch, byDay := range actual.Visits {
+		var sum float64
+		for _, v := range byDay {
+			sum += v
+		}
+		act[ch] = sum / float64(len(actual.Days))
+	}
+	evaluated := make(map[CellHour]bool)
+	var absSum, sqSum float64
+	var n int
+	score := func(ch CellHour) {
+		if evaluated[ch] {
+			return
+		}
+		evaluated[ch] = true
+		diff := f.Predict(ch) - act[ch]
+		absSum += math.Abs(diff)
+		sqSum += diff * diff
+		n++
+	}
+	for ch := range act {
+		score(ch)
+	}
+	for ch := range f.mean {
+		score(ch)
+	}
+	if n == 0 {
+		return ForecastError{}
+	}
+	return ForecastError{MAE: absSum / float64(n), RMSE: math.Sqrt(sqSum / float64(n)), Cells: n}
+}
+
+// SplitAtDay partitions a dataset into trajectories starting before the cut
+// instant and those starting at or after it — the train/test split used by
+// the traffic experiment.
+func SplitAtDay(d *trace.Dataset, cut time.Time) (before, after *trace.Dataset) {
+	before = trace.NewDataset()
+	after = trace.NewDataset()
+	for _, t := range d.Trajectories {
+		start, err := t.Start()
+		if err != nil {
+			continue
+		}
+		if start.Before(cut) {
+			before.Add(t)
+		} else {
+			after.Add(t)
+		}
+	}
+	return before, after
+}

@@ -1,0 +1,164 @@
+// Package poi extracts points of interest (POIs) from mobility traces.
+//
+// The paper (§3) defines POIs as "places where a user spends significant
+// amounts of time like his home, his office, a cinema": they carry rich
+// semantic information and almost uniquely identify individuals. This
+// package implements the two extractors used in the authors' companion work:
+//
+//   - stay-point detection (Li/Zheng): a maximal run of fixes that stays
+//     within MaxDistance of its anchor for at least MinDuration;
+//   - DJ-Cluster: density-joinable clustering of low-speed fixes, which is
+//     what an attacker typically runs on protected data.
+//
+// Both return POI values carrying a centroid, a dwell time and the number of
+// supporting fixes.
+package poi
+
+import (
+	"fmt"
+	"time"
+
+	"apisense/internal/geo"
+	"apisense/internal/trace"
+)
+
+// POI is an extracted point of interest.
+type POI struct {
+	// Center is the centroid of the supporting fixes.
+	Center geo.Point
+	// Enter and Leave bound the (first) visit.
+	Enter time.Time
+	Leave time.Time
+	// Fixes is the number of records supporting the POI.
+	Fixes int
+}
+
+// Dwell returns the visit duration.
+func (p POI) Dwell() time.Duration { return p.Leave.Sub(p.Enter) }
+
+// Extractor extracts POIs from a single trajectory.
+type Extractor interface {
+	// Extract returns the POIs found in t, in chronological order of
+	// first visit when the notion applies.
+	Extract(t *trace.Trajectory) []POI
+}
+
+// StayPointConfig parameterises stay-point detection.
+type StayPointConfig struct {
+	// MaxDistance is the roaming radius in metres (default 200).
+	MaxDistance float64
+	// MinDuration is the minimum dwell time (default 15 min).
+	MinDuration time.Duration
+}
+
+func (c StayPointConfig) withDefaults() StayPointConfig {
+	if c.MaxDistance == 0 {
+		c.MaxDistance = 200
+	}
+	if c.MinDuration == 0 {
+		c.MinDuration = 15 * time.Minute
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c StayPointConfig) Validate() error {
+	if c.MaxDistance < 0 {
+		return fmt.Errorf("poi: MaxDistance must be >= 0, got %v", c.MaxDistance)
+	}
+	if c.MinDuration < 0 {
+		return fmt.Errorf("poi: MinDuration must be >= 0, got %v", c.MinDuration)
+	}
+	return nil
+}
+
+// StayPoints is the classic stay-point detector.
+type StayPoints struct {
+	cfg StayPointConfig
+}
+
+var _ Extractor = (*StayPoints)(nil)
+
+// NewStayPoints returns a stay-point extractor; zero fields of cfg take the
+// documented defaults.
+func NewStayPoints(cfg StayPointConfig) (*StayPoints, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &StayPoints{cfg: cfg.withDefaults()}, nil
+}
+
+// Extract implements Extractor.
+func (s *StayPoints) Extract(t *trace.Trajectory) []POI {
+	recs := t.Records
+	var out []POI
+	i := 0
+	for i < len(recs) {
+		j := i + 1
+		for j < len(recs) && geo.Distance(recs[i].Pos, recs[j].Pos) <= s.cfg.MaxDistance {
+			j++
+		}
+		// recs[i:j] stay within MaxDistance of the anchor.
+		if dwell := recs[j-1].Time.Sub(recs[i].Time); dwell >= s.cfg.MinDuration {
+			pts := make([]geo.Point, 0, j-i)
+			for _, r := range recs[i:j] {
+				pts = append(pts, r.Pos)
+			}
+			out = append(out, POI{
+				Center: geo.Centroid(pts),
+				Enter:  recs[i].Time,
+				Leave:  recs[j-1].Time,
+				Fixes:  j - i,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// ExtractAll runs the extractor on every trajectory of a dataset and groups
+// the POIs by user.
+func ExtractAll(e Extractor, d *trace.Dataset) map[string][]POI {
+	out := make(map[string][]POI)
+	for _, t := range d.Trajectories {
+		if pois := e.Extract(t); len(pois) > 0 {
+			out[t.User] = append(out[t.User], pois...)
+		}
+	}
+	return out
+}
+
+// Merge collapses POIs whose centroids are within radius metres of each
+// other into a single POI (centroid of centroids, summed fixes, widest time
+// span). It is used to turn per-day POIs into per-user places.
+func Merge(pois []POI, radius float64) []POI {
+	var merged []POI
+	for _, p := range pois {
+		placed := false
+		for i := range merged {
+			if geo.Distance(merged[i].Center, p.Center) <= radius {
+				m := &merged[i]
+				total := float64(m.Fixes + p.Fixes)
+				m.Center = geo.Point{
+					Lat: (m.Center.Lat*float64(m.Fixes) + p.Center.Lat*float64(p.Fixes)) / total,
+					Lon: (m.Center.Lon*float64(m.Fixes) + p.Center.Lon*float64(p.Fixes)) / total,
+				}
+				m.Fixes += p.Fixes
+				if p.Enter.Before(m.Enter) {
+					m.Enter = p.Enter
+				}
+				if p.Leave.After(m.Leave) {
+					m.Leave = p.Leave
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			merged = append(merged, p)
+		}
+	}
+	return merged
+}

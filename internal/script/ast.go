@@ -1,0 +1,176 @@
+package script
+
+// Node is the interface of all AST nodes.
+type Node interface {
+	line() int
+}
+
+type base struct{ Line int }
+
+func (b base) line() int { return b.Line }
+
+// ---- expressions ----
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	base
+	Value float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	base
+	Value string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+// NullLit is the null literal.
+type NullLit struct{ base }
+
+// Ident is a variable reference.
+type Ident struct {
+	base
+	Name string
+}
+
+// ArrayLit is [a, b, c].
+type ArrayLit struct {
+	base
+	Elems []Node
+}
+
+// ObjectLit is {a: 1, "b": 2}.
+type ObjectLit struct {
+	base
+	Keys   []string
+	Values []Node
+}
+
+// FuncLit is function(a, b) { ... }.
+type FuncLit struct {
+	base
+	Params []string
+	Body   *Block
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	base
+	Op Kind
+	X  Node
+}
+
+// Binary is x op y for arithmetic/comparison/logical operators.
+type Binary struct {
+	base
+	Op   Kind
+	L, R Node
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	base
+	Cond, Then, Else Node
+}
+
+// Assign is target = value (or +=, -=). Target is Ident, Member or Index.
+type Assign struct {
+	base
+	Op     Kind // ASSIGN, PLUSEQ or MINUSEQ
+	Target Node
+	Value  Node
+}
+
+// Call is fn(args...).
+type Call struct {
+	base
+	Fn   Node
+	Args []Node
+}
+
+// Member is x.name.
+type Member struct {
+	base
+	X    Node
+	Name string
+}
+
+// Index is x[i].
+type Index struct {
+	base
+	X, Key Node
+}
+
+// ---- statements ----
+
+// Block is { stmts... }.
+type Block struct {
+	base
+	Stmts []Node
+}
+
+// VarDecl is var name = value.
+type VarDecl struct {
+	base
+	Name  string
+	Value Node // may be nil
+}
+
+// If is if (cond) then [else else].
+type If struct {
+	base
+	Cond Node
+	Then *Block
+	Else Node // *Block, *If or nil
+}
+
+// While is while (cond) body.
+type While struct {
+	base
+	Cond Node
+	Body *Block
+}
+
+// For is for (init; cond; post) body.
+type For struct {
+	base
+	Init Node // may be nil
+	Cond Node // may be nil
+	Post Node // may be nil
+	Body *Block
+}
+
+// Return is return [expr].
+type Return struct {
+	base
+	Value Node // may be nil
+}
+
+// Break is the break statement.
+type Break struct{ base }
+
+// Continue is the continue statement.
+type Continue struct{ base }
+
+// ExprStmt wraps an expression used as a statement.
+type ExprStmt struct {
+	base
+	X Node
+}
+
+// FuncDecl is function name(params) { body }.
+type FuncDecl struct {
+	base
+	Name string
+	Fn   *FuncLit
+}
+
+// Program is a parsed script.
+type Program struct {
+	Stmts []Node
+}

@@ -1,0 +1,50 @@
+package script_test
+
+import (
+	"fmt"
+
+	"apisense/internal/script"
+)
+
+// Example runs a SenseScript fragment the way the device runtime does:
+// host objects go in, a handler comes out, events are pumped through it.
+func Example() {
+	interp := script.NewInterp()
+
+	// Host side: expose a dataset sink.
+	var saved []string
+	dataset := script.NewObject().Set("save", script.BuiltinValue(
+		func(args []script.Value) (script.Value, error) {
+			saved = append(saved, args[0].String())
+			return script.Null, nil
+		}))
+	interp.Define("dataset", script.ObjectValue(dataset))
+
+	// Task script: keep only slow fixes.
+	src := `
+var handler = function(loc) {
+  if (loc.speed < 2) {
+    dataset.save({lat: loc.lat, slow: true});
+  }
+};
+`
+	if err := interp.RunSource(src); err != nil {
+		fmt.Println(err)
+		return
+	}
+	handler, _ := interp.Lookup("handler")
+	for _, speed := range []float64{0.5, 9.0, 1.2} {
+		loc := script.NewObject().
+			Set("lat", script.Number(45.76)).
+			Set("speed", script.Number(speed))
+		if _, err := interp.CallFunction(handler, []script.Value{script.ObjectValue(loc)}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Println(len(saved), "records saved")
+	fmt.Println(saved[0])
+	// Output:
+	// 2 records saved
+	// {lat:45.76,slow:true}
+}

@@ -1,0 +1,603 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RuntimeError reports a script execution failure with its source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("script: line %d: %s", e.Line, e.Msg)
+}
+
+// ErrFuelExhausted aborts scripts that exceed their execution budget.
+var ErrFuelExhausted = errors.New("script: execution budget exhausted")
+
+// control-flow signals (never escape the interpreter).
+var (
+	errBreak    = errors.New("break")
+	errContinue = errors.New("continue")
+)
+
+type returnSignal struct{ val Value }
+
+func (returnSignal) Error() string { return "return" }
+
+type environment struct {
+	vars   map[string]Value
+	parent *environment
+}
+
+func newEnv(parent *environment) *environment {
+	return &environment{vars: make(map[string]Value), parent: parent}
+}
+
+func (e *environment) lookup(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Null, false
+}
+
+func (e *environment) assign(name string, v Value) bool {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+func (e *environment) define(name string, v Value) { e.vars[name] = v }
+
+// Interp executes SenseScript programs against a set of host globals.
+type Interp struct {
+	globals    *environment
+	fuelBudget int
+	fuel       int
+	maxDepth   int
+	depth      int
+}
+
+// Option configures an Interp.
+type Option func(*Interp)
+
+// WithFuel caps the number of AST nodes evaluated per Run or top-level
+// CallFunction invocation (default 5,000,000). The budget refills on every
+// invocation, so a long-lived device can keep firing handlers while a
+// single runaway handler still cannot pin the CPU.
+func WithFuel(n int) Option { return func(i *Interp) { i.fuelBudget = n } }
+
+// WithMaxDepth caps call-stack depth (default 200).
+func WithMaxDepth(n int) Option { return func(i *Interp) { i.maxDepth = n } }
+
+// NewInterp creates an interpreter. The standard library (math/string/array
+// helpers, see stdlib.go) is pre-registered; host packages add their own
+// globals with Define.
+func NewInterp(opts ...Option) *Interp {
+	in := &Interp{globals: newEnv(nil), fuelBudget: 5_000_000, maxDepth: 200}
+	for _, opt := range opts {
+		opt(in)
+	}
+	in.fuel = in.fuelBudget
+	registerStdlib(in)
+	return in
+}
+
+// Define registers a global visible to scripts.
+func (i *Interp) Define(name string, v Value) { i.globals.define(name, v) }
+
+// Lookup returns a global by name.
+func (i *Interp) Lookup(name string) (Value, bool) { return i.globals.lookup(name) }
+
+// Run executes a parsed program. Top-level var/function declarations land in
+// the global environment, so host code can invoke script-defined handlers
+// afterwards via CallFunction.
+func (i *Interp) Run(prog *Program) error {
+	i.fuel = i.fuelBudget
+	for _, stmt := range prog.Stmts {
+		if err := i.exec(stmt, i.globals); err != nil {
+			if ret := (returnSignal{}); errors.As(err, &ret) {
+				return nil // top-level return ends the script
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSource parses and executes src.
+func (i *Interp) RunSource(src string) error {
+	prog, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return i.Run(prog)
+}
+
+// CallFunction invokes a script function value (e.g. a registered handler)
+// with the given arguments. The fuel budget refills for each call.
+func (i *Interp) CallFunction(fn Value, args []Value) (Value, error) {
+	i.fuel = i.fuelBudget
+	return i.call(fn, args, 0)
+}
+
+func (i *Interp) burn(line int) error {
+	i.fuel--
+	if i.fuel <= 0 {
+		return fmt.Errorf("%w (line %d)", ErrFuelExhausted, line)
+	}
+	return nil
+}
+
+func (i *Interp) runtimeErrf(line int, format string, args ...any) error {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---- statements ----
+
+func (i *Interp) exec(n Node, env *environment) error {
+	if err := i.burn(n.line()); err != nil {
+		return err
+	}
+	switch s := n.(type) {
+	case *Block:
+		inner := newEnv(env)
+		for _, stmt := range s.Stmts {
+			if err := i.exec(stmt, inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *VarDecl:
+		val := Null
+		if s.Value != nil {
+			v, err := i.eval(s.Value, env)
+			if err != nil {
+				return err
+			}
+			val = v
+		}
+		env.define(s.Name, val)
+		return nil
+	case *FuncDecl:
+		env.define(s.Name, Value{typ: TypeFunction, clos: &closure{fn: s.Fn, env: env}})
+		return nil
+	case *If:
+		cond, err := i.eval(s.Cond, env)
+		if err != nil {
+			return err
+		}
+		if cond.Truthy() {
+			return i.exec(s.Then, env)
+		}
+		if s.Else != nil {
+			return i.exec(s.Else, env)
+		}
+		return nil
+	case *While:
+		for {
+			cond, err := i.eval(s.Cond, env)
+			if err != nil {
+				return err
+			}
+			if !cond.Truthy() {
+				return nil
+			}
+			if err := i.exec(s.Body, env); err != nil {
+				if errors.Is(err, errBreak) {
+					return nil
+				}
+				if errors.Is(err, errContinue) {
+					continue
+				}
+				return err
+			}
+		}
+	case *For:
+		loopEnv := newEnv(env)
+		if s.Init != nil {
+			if err := i.exec(s.Init, loopEnv); err != nil {
+				return err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				cond, err := i.eval(s.Cond, loopEnv)
+				if err != nil {
+					return err
+				}
+				if !cond.Truthy() {
+					return nil
+				}
+			}
+			if err := i.exec(s.Body, loopEnv); err != nil {
+				if errors.Is(err, errBreak) {
+					return nil
+				}
+				if !errors.Is(err, errContinue) {
+					return err
+				}
+			}
+			if s.Post != nil {
+				if err := i.exec(s.Post, loopEnv); err != nil {
+					return err
+				}
+			}
+		}
+	case *Return:
+		val := Null
+		if s.Value != nil {
+			v, err := i.eval(s.Value, env)
+			if err != nil {
+				return err
+			}
+			val = v
+		}
+		return returnSignal{val: val}
+	case *Break:
+		return errBreak
+	case *Continue:
+		return errContinue
+	case *ExprStmt:
+		_, err := i.eval(s.X, env)
+		return err
+	default:
+		return i.runtimeErrf(n.line(), "cannot execute %T", n)
+	}
+}
+
+// ---- expressions ----
+
+func (i *Interp) eval(n Node, env *environment) (Value, error) {
+	if err := i.burn(n.line()); err != nil {
+		return Null, err
+	}
+	switch e := n.(type) {
+	case *NumberLit:
+		return Number(e.Value), nil
+	case *StringLit:
+		return String(e.Value), nil
+	case *BoolLit:
+		return Bool(e.Value), nil
+	case *NullLit:
+		return Null, nil
+	case *Ident:
+		if v, ok := env.lookup(e.Name); ok {
+			return v, nil
+		}
+		return Null, i.runtimeErrf(e.Line, "undefined variable %q", e.Name)
+	case *ArrayLit:
+		elems := make([]Value, len(e.Elems))
+		for idx, el := range e.Elems {
+			v, err := i.eval(el, env)
+			if err != nil {
+				return Null, err
+			}
+			elems[idx] = v
+		}
+		return NewArray(elems...), nil
+	case *ObjectLit:
+		obj := NewObject()
+		for idx, key := range e.Keys {
+			v, err := i.eval(e.Values[idx], env)
+			if err != nil {
+				return Null, err
+			}
+			obj.Set(key, v)
+		}
+		return ObjectValue(obj), nil
+	case *FuncLit:
+		return Value{typ: TypeFunction, clos: &closure{fn: e, env: env}}, nil
+	case *Unary:
+		x, err := i.eval(e.X, env)
+		if err != nil {
+			return Null, err
+		}
+		switch e.Op {
+		case NOT:
+			return Bool(!x.Truthy()), nil
+		case MINUS:
+			if x.Type() != TypeNumber {
+				return Null, i.runtimeErrf(e.Line, "cannot negate %s", x.Type())
+			}
+			return Number(-x.Num()), nil
+		}
+		return Null, i.runtimeErrf(e.Line, "unknown unary operator %s", e.Op)
+	case *Binary:
+		return i.evalBinary(e, env)
+	case *Ternary:
+		cond, err := i.eval(e.Cond, env)
+		if err != nil {
+			return Null, err
+		}
+		if cond.Truthy() {
+			return i.eval(e.Then, env)
+		}
+		return i.eval(e.Else, env)
+	case *Assign:
+		return i.evalAssign(e, env)
+	case *Member:
+		x, err := i.eval(e.X, env)
+		if err != nil {
+			return Null, err
+		}
+		return i.member(x, e.Name, e.Line)
+	case *Index:
+		x, err := i.eval(e.X, env)
+		if err != nil {
+			return Null, err
+		}
+		key, err := i.eval(e.Key, env)
+		if err != nil {
+			return Null, err
+		}
+		return i.index(x, key, e.Line)
+	case *Call:
+		fn, err := i.eval(e.Fn, env)
+		if err != nil {
+			return Null, err
+		}
+		args := make([]Value, len(e.Args))
+		for idx, a := range e.Args {
+			v, err := i.eval(a, env)
+			if err != nil {
+				return Null, err
+			}
+			args[idx] = v
+		}
+		return i.call(fn, args, e.Line)
+	default:
+		return Null, i.runtimeErrf(n.line(), "cannot evaluate %T", n)
+	}
+}
+
+func (i *Interp) evalBinary(e *Binary, env *environment) (Value, error) {
+	// Short-circuit logical operators.
+	if e.Op == AND || e.Op == OR {
+		l, err := i.eval(e.L, env)
+		if err != nil {
+			return Null, err
+		}
+		if e.Op == AND && !l.Truthy() {
+			return l, nil
+		}
+		if e.Op == OR && l.Truthy() {
+			return l, nil
+		}
+		return i.eval(e.R, env)
+	}
+	l, err := i.eval(e.L, env)
+	if err != nil {
+		return Null, err
+	}
+	r, err := i.eval(e.R, env)
+	if err != nil {
+		return Null, err
+	}
+	switch e.Op {
+	case EQ:
+		return Bool(l.Equals(r)), nil
+	case NEQ:
+		return Bool(!l.Equals(r)), nil
+	case PLUS:
+		if l.Type() == TypeString || r.Type() == TypeString {
+			return String(l.String() + r.String()), nil
+		}
+		if l.Type() == TypeNumber && r.Type() == TypeNumber {
+			return Number(l.Num() + r.Num()), nil
+		}
+		return Null, i.runtimeErrf(e.Line, "cannot add %s and %s", l.Type(), r.Type())
+	}
+	// Remaining operators are numeric-only.
+	if l.Type() != TypeNumber || r.Type() != TypeNumber {
+		return Null, i.runtimeErrf(e.Line, "operator %s needs numbers, got %s and %s",
+			e.Op, l.Type(), r.Type())
+	}
+	a, b := l.Num(), r.Num()
+	switch e.Op {
+	case MINUS:
+		return Number(a - b), nil
+	case STAR:
+		return Number(a * b), nil
+	case SLASH:
+		if b == 0 {
+			return Number(math.Inf(sign(a))), nil
+		}
+		return Number(a / b), nil
+	case PERCENT:
+		if b == 0 {
+			return Number(math.NaN()), nil
+		}
+		return Number(math.Mod(a, b)), nil
+	case LT:
+		return Bool(a < b), nil
+	case GT:
+		return Bool(a > b), nil
+	case LTE:
+		return Bool(a <= b), nil
+	case GTE:
+		return Bool(a >= b), nil
+	}
+	return Null, i.runtimeErrf(e.Line, "unknown operator %s", e.Op)
+}
+
+func sign(a float64) int {
+	if a < 0 {
+		return -1
+	}
+	return 1
+}
+
+func (i *Interp) evalAssign(e *Assign, env *environment) (Value, error) {
+	val, err := i.eval(e.Value, env)
+	if err != nil {
+		return Null, err
+	}
+	// Compound assignment reads the old value first.
+	if e.Op == PLUSEQ || e.Op == MINUSEQ {
+		old, err := i.eval(e.Target, env)
+		if err != nil {
+			return Null, err
+		}
+		if e.Op == PLUSEQ && (old.Type() == TypeString || val.Type() == TypeString) {
+			val = String(old.String() + val.String())
+		} else if old.Type() == TypeNumber && val.Type() == TypeNumber {
+			if e.Op == PLUSEQ {
+				val = Number(old.Num() + val.Num())
+			} else {
+				val = Number(old.Num() - val.Num())
+			}
+		} else {
+			return Null, i.runtimeErrf(e.Line, "cannot apply %s to %s and %s",
+				e.Op, old.Type(), val.Type())
+		}
+	}
+	switch target := e.Target.(type) {
+	case *Ident:
+		if !env.assign(target.Name, val) {
+			// Implicit global definition mirrors JavaScript's sloppy mode,
+			// which the APISENSE task scripts rely on.
+			i.globals.define(target.Name, val)
+		}
+		return val, nil
+	case *Member:
+		x, err := i.eval(target.X, env)
+		if err != nil {
+			return Null, err
+		}
+		if x.Type() != TypeObject {
+			return Null, i.runtimeErrf(e.Line, "cannot set property on %s", x.Type())
+		}
+		x.Obj().Set(target.Name, val)
+		return val, nil
+	case *Index:
+		x, err := i.eval(target.X, env)
+		if err != nil {
+			return Null, err
+		}
+		key, err := i.eval(target.Key, env)
+		if err != nil {
+			return Null, err
+		}
+		switch x.Type() {
+		case TypeArray:
+			idx := int(key.Num())
+			arr := x.Arr()
+			if key.Type() != TypeNumber || idx < 0 || idx >= len(arr.Elems) {
+				return Null, i.runtimeErrf(e.Line, "array index %s out of range", key)
+			}
+			arr.Elems[idx] = val
+			return val, nil
+		case TypeObject:
+			x.Obj().Set(key.String(), val)
+			return val, nil
+		default:
+			return Null, i.runtimeErrf(e.Line, "cannot index %s", x.Type())
+		}
+	}
+	return Null, i.runtimeErrf(e.Line, "invalid assignment target")
+}
+
+func (i *Interp) member(x Value, name string, line int) (Value, error) {
+	switch x.Type() {
+	case TypeObject:
+		if v, ok := x.Obj().Get(name); ok {
+			return v, nil
+		}
+		return Null, nil
+	case TypeArray:
+		if name == "length" {
+			return Number(float64(len(x.Arr().Elems))), nil
+		}
+		if m, ok := arrayMethod(x.Arr(), name); ok {
+			return m, nil
+		}
+		return Null, i.runtimeErrf(line, "array has no property %q", name)
+	case TypeString:
+		if name == "length" {
+			return Number(float64(len(x.Str()))), nil
+		}
+		if m, ok := stringMethod(x.Str(), name); ok {
+			return m, nil
+		}
+		return Null, i.runtimeErrf(line, "string has no property %q", name)
+	default:
+		return Null, i.runtimeErrf(line, "cannot read property %q of %s", name, x.Type())
+	}
+}
+
+func (i *Interp) index(x, key Value, line int) (Value, error) {
+	switch x.Type() {
+	case TypeArray:
+		idx := int(key.Num())
+		if key.Type() != TypeNumber || idx < 0 || idx >= len(x.Arr().Elems) {
+			return Null, i.runtimeErrf(line, "array index %s out of range", key)
+		}
+		return x.Arr().Elems[idx], nil
+	case TypeObject:
+		if v, ok := x.Obj().Get(key.String()); ok {
+			return v, nil
+		}
+		return Null, nil
+	case TypeString:
+		idx := int(key.Num())
+		s := x.Str()
+		if key.Type() != TypeNumber || idx < 0 || idx >= len(s) {
+			return Null, i.runtimeErrf(line, "string index %s out of range", key)
+		}
+		return String(string(s[idx])), nil
+	default:
+		return Null, i.runtimeErrf(line, "cannot index %s", x.Type())
+	}
+}
+
+func (i *Interp) call(fn Value, args []Value, line int) (Value, error) {
+	if fn.Type() != TypeFunction {
+		return Null, i.runtimeErrf(line, "cannot call %s", fn.Type())
+	}
+	if fn.builtin != nil {
+		v, err := fn.builtin(args)
+		if err != nil {
+			var rerr *RuntimeError
+			if errors.As(err, &rerr) || errors.Is(err, ErrFuelExhausted) {
+				return Null, err
+			}
+			return Null, &RuntimeError{Line: line, Msg: err.Error()}
+		}
+		return v, nil
+	}
+	i.depth++
+	defer func() { i.depth-- }()
+	if i.depth > i.maxDepth {
+		return Null, i.runtimeErrf(line, "call stack exceeds %d frames", i.maxDepth)
+	}
+	env := newEnv(fn.clos.env)
+	for idx, p := range fn.clos.fn.Params {
+		if idx < len(args) {
+			env.define(p, args[idx])
+		} else {
+			env.define(p, Null)
+		}
+	}
+	for _, stmt := range fn.clos.fn.Body.Stmts {
+		if err := i.exec(stmt, env); err != nil {
+			var ret returnSignal
+			if errors.As(err, &ret) {
+				return ret.val, nil
+			}
+			return Null, err
+		}
+	}
+	return Null, nil
+}

@@ -1,0 +1,528 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// evalExpr runs `var __r = <expr>;` and returns the value of __r.
+func evalExpr(t *testing.T, expr string) Value {
+	t.Helper()
+	in := NewInterp()
+	if err := in.RunSource("var __r = " + expr + ";"); err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	v, ok := in.Lookup("__r")
+	if !ok {
+		t.Fatalf("eval %q: no result", expr)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want float64
+	}{
+		{"1 + 2", 3},
+		{"2 * 3 + 4", 10},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 / 4", 2.5},
+		{"10 % 3", 1},
+		{"-5 + 2", -3},
+		{"2 * -3", -6},
+		{"1e3 + 1", 1001},
+		{"0.5 + 0.25", 0.75},
+		{"7 - 2 - 1", 4}, // left associative
+	}
+	for _, tt := range tests {
+		if got := evalExpr(t, tt.expr); got.Num() != tt.want {
+			t.Errorf("%s = %v, want %v", tt.expr, got.Num(), tt.want)
+		}
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"4 >= 5", false},
+		{"1 == 1", true},
+		{"1 != 1", false},
+		{"'a' == 'a'", true},
+		{"'a' == 1", false},
+		{"true && false", false},
+		{"true || false", true},
+		{"!false", true},
+		{"1 < 2 && 2 < 3", true},
+		{"null == null", true},
+	}
+	for _, tt := range tests {
+		if got := evalExpr(t, tt.expr); got.Truthy() != tt.want {
+			t.Errorf("%s = %v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	in := NewInterp()
+	calls := 0
+	in.Define("boom", BuiltinValue(func([]Value) (Value, error) {
+		calls++
+		return Bool(true), nil
+	}))
+	if err := in.RunSource("var a = false && boom(); var b = true || boom();"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("short-circuit failed: boom called %d times", calls)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	if got := evalExpr(t, "'foo' + 'bar'"); got.Str() != "foobar" {
+		t.Errorf("concat = %q", got.Str())
+	}
+	if got := evalExpr(t, "'n=' + 42"); got.Str() != "n=42" {
+		t.Errorf("mixed concat = %q", got.Str())
+	}
+	if got := evalExpr(t, "'HeLLo'.toLowerCase()"); got.Str() != "hello" {
+		t.Errorf("toLowerCase = %q", got.Str())
+	}
+	if got := evalExpr(t, "'a,b,c'.split(',').length"); got.Num() != 3 {
+		t.Errorf("split length = %v", got.Num())
+	}
+	if got := evalExpr(t, "'hello'.contains('ell')"); !got.Bool() {
+		t.Error("contains failed")
+	}
+	if got := evalExpr(t, "'  x '.trim()"); got.Str() != "x" {
+		t.Errorf("trim = %q", got.Str())
+	}
+	if got := evalExpr(t, "'abc'[1]"); got.Str() != "b" {
+		t.Errorf("index = %q", got.Str())
+	}
+	if got := evalExpr(t, "'abc'.length"); got.Num() != 3 {
+		t.Errorf("length = %v", got.Num())
+	}
+}
+
+func TestTernary(t *testing.T) {
+	if got := evalExpr(t, "1 < 2 ? 'yes' : 'no'"); got.Str() != "yes" {
+		t.Errorf("ternary = %q", got.Str())
+	}
+	if got := evalExpr(t, "false ? 1 : 2"); got.Num() != 2 {
+		t.Errorf("ternary = %v", got.Num())
+	}
+}
+
+func TestVariablesAndScope(t *testing.T) {
+	in := NewInterp()
+	src := `
+var x = 1;
+var y = 0;
+{
+  var x = 2; // shadows
+  y = x;
+}
+var z = x; // outer x unchanged
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := in.Lookup("y")
+	z, _ := in.Lookup("z")
+	if y.Num() != 2 || z.Num() != 1 {
+		t.Errorf("y=%v z=%v, want 2, 1", y.Num(), z.Num())
+	}
+}
+
+func TestWhileAndFor(t *testing.T) {
+	in := NewInterp()
+	src := `
+var sum = 0;
+for (var i = 0; i < 10; i = i + 1) {
+  sum += i;
+}
+var n = 0;
+while (n < 5) { n += 1; }
+var brk = 0;
+for (var j = 0; j < 100; j = j + 1) {
+  if (j == 7) { break; }
+  brk = j;
+}
+var skip = 0;
+for (var k = 0; k < 5; k = k + 1) {
+  if (k % 2 == 0) { continue; }
+  skip += k;
+}
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{"sum": 45, "n": 5, "brk": 6, "skip": 4}
+	for name, want := range checks {
+		if v, _ := in.Lookup(name); v.Num() != want {
+			t.Errorf("%s = %v, want %v", name, v.Num(), want)
+		}
+	}
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	in := NewInterp()
+	src := `
+function add(a, b) { return a + b; }
+var r1 = add(2, 3);
+
+function makeCounter() {
+  var count = 0;
+  return function() {
+    count += 1;
+    return count;
+  };
+}
+var c = makeCounter();
+c(); c();
+var r2 = c();
+
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+var r3 = fib(12);
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := in.Lookup("r1")
+	r2, _ := in.Lookup("r2")
+	r3, _ := in.Lookup("r3")
+	if r1.Num() != 5 {
+		t.Errorf("add = %v", r1.Num())
+	}
+	if r2.Num() != 3 {
+		t.Errorf("counter = %v, want 3 (closure state)", r2.Num())
+	}
+	if r3.Num() != 144 {
+		t.Errorf("fib(12) = %v, want 144", r3.Num())
+	}
+}
+
+func TestArraysAndObjects(t *testing.T) {
+	in := NewInterp()
+	src := `
+var a = [1, 2, 3];
+a.push(4);
+var alen = a.length;
+var last = a.pop();
+var joined = ['x', 'y'].join('-');
+var idx = [5, 6, 7].indexOf(6);
+var sl = [1, 2, 3, 4].slice(1, 3);
+
+var o = {name: 'gps', "rate": 60};
+o.enabled = true;
+o['extra'] = 1;
+var name = o.name;
+var missing = o.nothing;
+var nkeys = len(o);
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	get := func(n string) Value { v, _ := in.Lookup(n); return v }
+	if get("alen").Num() != 4 || get("last").Num() != 4 {
+		t.Errorf("push/pop: alen=%v last=%v", get("alen").Num(), get("last").Num())
+	}
+	if get("joined").Str() != "x-y" {
+		t.Errorf("join = %q", get("joined").Str())
+	}
+	if get("idx").Num() != 1 {
+		t.Errorf("indexOf = %v", get("idx").Num())
+	}
+	if sl := get("sl"); len(sl.Arr().Elems) != 2 || sl.Arr().Elems[0].Num() != 2 {
+		t.Errorf("slice = %v", sl)
+	}
+	if get("name").Str() != "gps" {
+		t.Errorf("member = %q", get("name").Str())
+	}
+	if !get("missing").IsNull() {
+		t.Error("missing property should be null")
+	}
+	if get("nkeys").Num() != 4 {
+		t.Errorf("len(o) = %v", get("nkeys").Num())
+	}
+}
+
+func TestMathStdlib(t *testing.T) {
+	tests := []struct {
+		expr string
+		want float64
+	}{
+		{"Math.floor(2.7)", 2},
+		{"Math.ceil(2.1)", 3},
+		{"Math.round(2.5)", 3},
+		{"Math.abs(-4)", 4},
+		{"Math.sqrt(16)", 4},
+		{"Math.max(1, 9, 4)", 9},
+		{"Math.min(3, -2, 8)", -2},
+		{"Math.pow(2, 10)", 1024},
+	}
+	for _, tt := range tests {
+		if got := evalExpr(t, tt.expr); got.Num() != tt.want {
+			t.Errorf("%s = %v, want %v", tt.expr, got.Num(), tt.want)
+		}
+	}
+}
+
+func TestConversionBuiltins(t *testing.T) {
+	if got := evalExpr(t, "num('3.5') + 1"); got.Num() != 4.5 {
+		t.Errorf("num = %v", got.Num())
+	}
+	if got := evalExpr(t, "str(42)"); got.Str() != "42" {
+		t.Errorf("str = %q", got.Str())
+	}
+	if got := evalExpr(t, "len([1,2,3])"); got.Num() != 3 {
+		t.Errorf("len = %v", got.Num())
+	}
+	if got := evalExpr(t, "keys({b:1, a:2}).join(',')"); got.Str() != "a,b" {
+		t.Errorf("keys = %q", got.Str())
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":    "var x = nothing;",
+		"call non-fn":      "var x = 5; x();",
+		"negate string":    "var x = -'a';",
+		"add bool":         "var x = true + 1;",
+		"index range":      "var a = [1]; var x = a[5];",
+		"bad member":       "var x = 5; var y = x.foo;",
+		"set prop on num":  "var x = 5; x.foo = 1;",
+		"compound on bool": "var x = true; x += 1;",
+	}
+	for name, src := range cases {
+		in := NewInterp()
+		err := in.RunSource(src)
+		if err == nil {
+			t.Errorf("%s: expected runtime error", name)
+			continue
+		}
+		var rerr *RuntimeError
+		if !errors.As(err, &rerr) {
+			t.Errorf("%s: error %v is not a RuntimeError", name, err)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated string": `var x = "abc`,
+		"unterminated block":  "{ var x = 1;",
+		"bad assign target":   "1 = 2;",
+		"unexpected token":    "var = 5;",
+		"bad escape":          `var x = "\q";`,
+		"stray char":          "var x = 1 @ 2;",
+		"unterminated comm":   "/* comment",
+		"missing paren":       "if (true { }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected syntax error", name)
+		} else {
+			var serr *SyntaxError
+			if !errors.As(err, &serr) {
+				t.Errorf("%s: error %v is not a SyntaxError", name, err)
+			}
+		}
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	in := NewInterp(WithFuel(10_000))
+	err := in.RunSource("while (true) { var x = 1; }")
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("err = %v, want fuel exhaustion", err)
+	}
+}
+
+func TestRecursionLimit(t *testing.T) {
+	in := NewInterp(WithMaxDepth(50))
+	err := in.RunSource("function f() { return f(); } f();")
+	if err == nil || !strings.Contains(err.Error(), "call stack") {
+		t.Errorf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestHostBindingsAndHandlers(t *testing.T) {
+	// The pattern the device runtime uses: the script registers a handler,
+	// the host fires events into it.
+	in := NewInterp()
+	var handler Value
+	sensorGPS := NewObject().Set("onLocationChanged", BuiltinValue(func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Type() != TypeFunction {
+			return Null, errors.New("onLocationChanged expects a function")
+		}
+		handler = args[0]
+		return Null, nil
+	}))
+	in.Define("sensor", ObjectValue(NewObject().Set("gps", ObjectValue(sensorGPS))))
+
+	var saved []Value
+	in.Define("dataset", ObjectValue(NewObject().Set("save", BuiltinValue(func(args []Value) (Value, error) {
+		saved = append(saved, args...)
+		return Null, nil
+	}))))
+
+	src := `
+var count = 0;
+sensor.gps.onLocationChanged(function(loc) {
+  count += 1;
+  if (loc.speed < 2) {
+    dataset.save({lat: loc.lat, lon: loc.lon, slow: true});
+  }
+});
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if handler.Type() != TypeFunction {
+		t.Fatal("handler not registered")
+	}
+	fire := func(lat, lon, speed float64) {
+		loc := NewObject().Set("lat", Number(lat)).Set("lon", Number(lon)).Set("speed", Number(speed))
+		if _, err := in.CallFunction(handler, []Value{ObjectValue(loc)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fire(45.7, 4.8, 1.0) // slow: saved
+	fire(45.8, 4.9, 9.0) // fast: not saved
+	fire(45.9, 5.0, 0.5) // slow: saved
+
+	if count, _ := in.Lookup("count"); count.Num() != 3 {
+		t.Errorf("handler ran %v times, want 3", count.Num())
+	}
+	if len(saved) != 2 {
+		t.Fatalf("saved %d records, want 2", len(saved))
+	}
+	if lat, _ := saved[0].Obj().Get("lat"); lat.Num() != 45.7 {
+		t.Errorf("first saved lat = %v", lat.Num())
+	}
+}
+
+func TestImplicitGlobalAssignment(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource("function f() { g = 42; } f();"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := in.Lookup("g"); !ok || v.Num() != 42 {
+		t.Errorf("implicit global g = %v (ok=%v)", v, ok)
+	}
+}
+
+func TestComments(t *testing.T) {
+	in := NewInterp()
+	src := `
+// a line comment
+var x = 1; // trailing
+/* block
+   comment */
+var y = x + 1;
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if y, _ := in.Lookup("y"); y.Num() != 2 {
+		t.Errorf("y = %v", y.Num())
+	}
+}
+
+func TestLetConstAliases(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource("let a = 1; const b = 2; var c = a + b;"); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := in.Lookup("c"); c.Num() != 3 {
+		t.Errorf("c = %v", c.Num())
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	// ToGo/FromGo round trip.
+	obj := NewObject().
+		Set("n", Number(1.5)).
+		Set("s", String("x")).
+		Set("b", Bool(true)).
+		Set("nil", Null).
+		Set("arr", NewArray(Number(1), String("two")))
+	v := ObjectValue(obj)
+	back := FromGo(v.ToGo())
+	if back.Type() != TypeObject {
+		t.Fatalf("round trip type = %v", back.Type())
+	}
+	n, _ := back.Obj().Get("n")
+	if n.Num() != 1.5 {
+		t.Errorf("n = %v", n.Num())
+	}
+	arr, _ := back.Obj().Get("arr")
+	if arr.Type() != TypeArray || len(arr.Arr().Elems) != 2 {
+		t.Errorf("arr = %v", arr)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := NewArray(Number(1), String("a"), Bool(false), Null)
+	if got := v.String(); got != "[1,a,false,null]" {
+		t.Errorf("String = %q", got)
+	}
+	obj := NewObject().Set("b", Number(2)).Set("a", Number(1))
+	if got := ObjectValue(obj).String(); got != "{a:1,b:2}" {
+		t.Errorf("object String = %q (keys must be sorted)", got)
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	if got := evalExpr(t, "1 / 0"); !(got.Num() > 1e308) {
+		t.Errorf("1/0 = %v, want +Inf", got.Num())
+	}
+	if got := evalExpr(t, "-1 / 0"); !(got.Num() < -1e308) {
+		t.Errorf("-1/0 = %v, want -Inf", got.Num())
+	}
+	if got := evalExpr(t, "5 % 0"); got.Num() == got.Num() {
+		t.Errorf("5%%0 = %v, want NaN", got.Num())
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	in := NewInterp()
+	src := `
+function grade(x) {
+  if (x > 90) { return 'A'; }
+  else if (x > 80) { return 'B'; }
+  else if (x > 70) { return 'C'; }
+  else { return 'F'; }
+}
+var a = grade(95); var b = grade(85); var c = grade(75); var f = grade(10);
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	get := func(n string) string { v, _ := in.Lookup(n); return v.Str() }
+	if get("a") != "A" || get("b") != "B" || get("c") != "C" || get("f") != "F" {
+		t.Errorf("grades = %s %s %s %s", get("a"), get("b"), get("c"), get("f"))
+	}
+}
+
+func TestTopLevelReturnStopsScript(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource("var x = 1; return; x = 2;"); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := in.Lookup("x"); x.Num() != 1 {
+		t.Errorf("x = %v, want 1 (script should stop at return)", x.Num())
+	}
+}

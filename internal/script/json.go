@@ -1,0 +1,34 @@
+package script
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// registerJSON installs the JSON host object: task scripts use it to encode
+// structured payloads for dataset.save and to decode configuration strings
+// shipped with the task spec.
+func registerJSON(in *Interp) {
+	obj := NewObject().
+		Set("stringify", BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return Null, argErr("JSON.stringify", "one argument")
+			}
+			data, err := json.Marshal(args[0].ToGo())
+			if err != nil {
+				return Null, fmt.Errorf("JSON.stringify: %w", err)
+			}
+			return String(string(data)), nil
+		})).
+		Set("parse", BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) != 1 || args[0].Type() != TypeString {
+				return Null, argErr("JSON.parse", "a string")
+			}
+			var out any
+			if err := json.Unmarshal([]byte(args[0].Str()), &out); err != nil {
+				return Null, fmt.Errorf("JSON.parse: %w", err)
+			}
+			return FromGo(out), nil
+		}))
+	in.Define("JSON", ObjectValue(obj))
+}

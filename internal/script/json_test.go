@@ -1,0 +1,114 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONStringify(t *testing.T) {
+	got := evalExpr(t, `JSON.stringify({b: 2, a: [1, 'x', true, null]})`)
+	want := `{"a":[1,"x",true,null],"b":2}`
+	if got.Str() != want {
+		t.Errorf("stringify = %q, want %q", got.Str(), want)
+	}
+	if s := evalExpr(t, `JSON.stringify(42)`); s.Str() != "42" {
+		t.Errorf("stringify(42) = %q", s.Str())
+	}
+}
+
+func TestJSONParse(t *testing.T) {
+	in := NewInterp()
+	src := `
+var cfg = JSON.parse('{"period": 30, "sensors": ["gps", "battery"], "deep": {"on": true}}');
+var period = cfg.period;
+var first = cfg.sensors[0];
+var on = cfg.deep.on;
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	get := func(n string) Value { v, _ := in.Lookup(n); return v }
+	if get("period").Num() != 30 {
+		t.Errorf("period = %v", get("period").Num())
+	}
+	if get("first").Str() != "gps" {
+		t.Errorf("first = %q", get("first").Str())
+	}
+	if !get("on").Bool() {
+		t.Error("deep.on not true")
+	}
+}
+
+func TestJSONRoundTripInScript(t *testing.T) {
+	got := evalExpr(t, `JSON.parse(JSON.stringify({n: 1.5, s: 'x'})).n`)
+	if got.Num() != 1.5 {
+		t.Errorf("round trip n = %v", got.Num())
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`var x = JSON.parse('{broken');`)
+	if err == nil || !strings.Contains(err.Error(), "JSON.parse") {
+		t.Errorf("err = %v, want JSON.parse failure", err)
+	}
+	if err := NewInterp().RunSource(`JSON.parse(42);`); err == nil {
+		t.Error("parse of non-string should fail")
+	}
+	if err := NewInterp().RunSource(`JSON.stringify();`); err == nil {
+		t.Error("stringify with no args should fail")
+	}
+}
+
+func TestFuelRefillsPerInvocation(t *testing.T) {
+	// A budget too small for 100 iterations in one call, but plenty for
+	// each individual call: the budget must refill between calls.
+	in := NewInterp(WithFuel(2000))
+	src := `
+function work() {
+  var s = 0;
+  for (var i = 0; i < 40; i = i + 1) { s += i; }
+  return s;
+}
+`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := in.Lookup("work")
+	for call := 0; call < 100; call++ {
+		if _, err := in.CallFunction(fn, nil); err != nil {
+			t.Fatalf("call %d: %v (fuel should refill per invocation)", call, err)
+		}
+	}
+	// But a single over-budget call still dies.
+	if err := in.RunSource("while (true) { var x = 1; }"); !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("err = %v, want fuel exhaustion", err)
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	// Adversarial fragments: the parser must return errors, not panic.
+	inputs := []string{
+		"", ";;;", "((((((((((", "}}}}", "var", "function", "function (",
+		"a.b.c.d.e.", "[,,]", "{:}", "1 ? 2", "for(;;)", "if(1)",
+		"x = = 2", "'", "\"", "return return", "break continue",
+		"var x = {a: }", "f(,)", "a[", "!", "- -", "0x", "1e", "1.2.3",
+		"while(1){break;}while", "/*", "//", "let let = 1",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			prog, err := Parse(src)
+			if err == nil && prog != nil {
+				// Some fragments are valid (e.g. comments); execute them
+				// too — must not panic either.
+				_ = NewInterp().Run(prog)
+			}
+		}()
+	}
+}

@@ -1,0 +1,257 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// argErr builds a uniform builtin argument error.
+func argErr(fn, want string) error {
+	return fmt.Errorf("%s expects %s", fn, want)
+}
+
+func numArg(fn string, args []Value, i int) (float64, error) {
+	if i >= len(args) || args[i].Type() != TypeNumber {
+		return 0, argErr(fn, fmt.Sprintf("a number as argument %d", i+1))
+	}
+	return args[i].Num(), nil
+}
+
+// registerStdlib installs the standard globals every task script can rely
+// on: Math, JSON, string/array methods and len/str/num/keys.
+func registerStdlib(in *Interp) {
+	registerJSON(in)
+	mathObj := NewObject().
+		Set("floor", unaryMath("Math.floor", math.Floor)).
+		Set("ceil", unaryMath("Math.ceil", math.Ceil)).
+		Set("round", unaryMath("Math.round", math.Round)).
+		Set("abs", unaryMath("Math.abs", math.Abs)).
+		Set("sqrt", unaryMath("Math.sqrt", math.Sqrt)).
+		Set("pi", Number(math.Pi)).
+		Set("max", BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Null, argErr("Math.max", "at least one number")
+			}
+			best := math.Inf(-1)
+			for i := range args {
+				n, err := numArg("Math.max", args, i)
+				if err != nil {
+					return Null, err
+				}
+				best = math.Max(best, n)
+			}
+			return Number(best), nil
+		})).
+		Set("min", BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Null, argErr("Math.min", "at least one number")
+			}
+			best := math.Inf(1)
+			for i := range args {
+				n, err := numArg("Math.min", args, i)
+				if err != nil {
+					return Null, err
+				}
+				best = math.Min(best, n)
+			}
+			return Number(best), nil
+		})).
+		Set("pow", BuiltinValue(func(args []Value) (Value, error) {
+			a, err := numArg("Math.pow", args, 0)
+			if err != nil {
+				return Null, err
+			}
+			b, err := numArg("Math.pow", args, 1)
+			if err != nil {
+				return Null, err
+			}
+			return Number(math.Pow(a, b)), nil
+		}))
+	in.Define("Math", ObjectValue(mathObj))
+
+	in.Define("len", BuiltinValue(func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, argErr("len", "one argument")
+		}
+		switch args[0].Type() {
+		case TypeString:
+			return Number(float64(len(args[0].Str()))), nil
+		case TypeArray:
+			return Number(float64(len(args[0].Arr().Elems))), nil
+		case TypeObject:
+			return Number(float64(len(args[0].Obj().Keys()))), nil
+		default:
+			return Null, argErr("len", "a string, array or object")
+		}
+	}))
+	in.Define("str", BuiltinValue(func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, argErr("str", "one argument")
+		}
+		return String(args[0].String()), nil
+	}))
+	in.Define("num", BuiltinValue(func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Null, argErr("num", "one argument")
+		}
+		switch args[0].Type() {
+		case TypeNumber:
+			return args[0], nil
+		case TypeString:
+			var f float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(args[0].Str()), "%g", &f); err != nil {
+				return Null, fmt.Errorf("num: cannot parse %q", args[0].Str())
+			}
+			return Number(f), nil
+		case TypeBool:
+			if args[0].Bool() {
+				return Number(1), nil
+			}
+			return Number(0), nil
+		default:
+			return Null, argErr("num", "a number, string or bool")
+		}
+	}))
+	in.Define("keys", BuiltinValue(func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Type() != TypeObject {
+			return Null, argErr("keys", "an object")
+		}
+		ks := args[0].Obj().Keys()
+		elems := make([]Value, len(ks))
+		for i, k := range ks {
+			elems[i] = String(k)
+		}
+		return NewArray(elems...), nil
+	}))
+}
+
+func unaryMath(name string, fn func(float64) float64) Value {
+	return BuiltinValue(func(args []Value) (Value, error) {
+		n, err := numArg(name, args, 0)
+		if err != nil {
+			return Null, err
+		}
+		return Number(fn(n)), nil
+	})
+}
+
+// arrayMethod returns the bound method of an array, if it exists.
+func arrayMethod(a *Array, name string) (Value, bool) {
+	switch name {
+	case "push":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			a.Elems = append(a.Elems, args...)
+			return Number(float64(len(a.Elems))), nil
+		}), true
+	case "pop":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			if len(a.Elems) == 0 {
+				return Null, nil
+			}
+			v := a.Elems[len(a.Elems)-1]
+			a.Elems = a.Elems[:len(a.Elems)-1]
+			return v, nil
+		}), true
+	case "join":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = args[0].String()
+			}
+			parts := make([]string, len(a.Elems))
+			for i, e := range a.Elems {
+				parts[i] = e.String()
+			}
+			return String(strings.Join(parts, sep)), nil
+		}), true
+	case "indexOf":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return Null, argErr("indexOf", "one argument")
+			}
+			for i, e := range a.Elems {
+				if e.Equals(args[0]) {
+					return Number(float64(i)), nil
+				}
+			}
+			return Number(-1), nil
+		}), true
+	case "slice":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			start, end := 0, len(a.Elems)
+			if len(args) > 0 {
+				start = clampIndex(int(args[0].Num()), len(a.Elems))
+			}
+			if len(args) > 1 {
+				end = clampIndex(int(args[1].Num()), len(a.Elems))
+			}
+			if start > end {
+				start = end
+			}
+			out := make([]Value, end-start)
+			copy(out, a.Elems[start:end])
+			return NewArray(out...), nil
+		}), true
+	}
+	return Null, false
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// stringMethod returns the bound method of a string, if it exists.
+func stringMethod(s, name string) (Value, bool) {
+	switch name {
+	case "toUpperCase":
+		return BuiltinValue(func([]Value) (Value, error) {
+			return String(strings.ToUpper(s)), nil
+		}), true
+	case "toLowerCase":
+		return BuiltinValue(func([]Value) (Value, error) {
+			return String(strings.ToLower(s)), nil
+		}), true
+	case "trim":
+		return BuiltinValue(func([]Value) (Value, error) {
+			return String(strings.TrimSpace(s)), nil
+		}), true
+	case "split":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			sep := ""
+			if len(args) > 0 {
+				sep = args[0].String()
+			}
+			parts := strings.Split(s, sep)
+			elems := make([]Value, len(parts))
+			for i, p := range parts {
+				elems[i] = String(p)
+			}
+			return NewArray(elems...), nil
+		}), true
+	case "contains":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return Null, argErr("contains", "one argument")
+			}
+			return Bool(strings.Contains(s, args[0].String())), nil
+		}), true
+	case "startsWith":
+		return BuiltinValue(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return Null, argErr("startsWith", "one argument")
+			}
+			return Bool(strings.HasPrefix(s, args[0].String())), nil
+		}), true
+	}
+	return Null, false
+}

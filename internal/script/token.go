@@ -1,0 +1,103 @@
+// Package script implements SenseScript, the task-description language of
+// the APISENSE platform. The paper (§2) describes crowd-sensing tasks as
+// "scripts (based on an extension of JavaScript) that are seamlessly
+// offloaded onto mobile devices". SenseScript is a from-scratch interpreter
+// for the JavaScript subset those task scripts use: numbers, strings,
+// booleans, arrays, objects, first-class functions and closures, the usual
+// operators and control flow — plus host bindings through which the device
+// runtime exposes its sensor API (see internal/device).
+//
+// The interpreter is deliberately sandboxed: scripts can only touch the
+// host objects the runtime injects, and execution is fuel-limited so a
+// runaway task cannot pin a device CPU.
+package script
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+	// keywords
+	VAR
+	FUNCTION
+	RETURN
+	IF
+	ELSE
+	WHILE
+	FOR
+	BREAK
+	CONTINUE
+	TRUE
+	FALSE
+	NULL
+	// punctuation and operators
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	DOT      // .
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	GT       // >
+	LTE      // <=
+	GTE      // >=
+	AND      // &&
+	OR       // ||
+	NOT      // !
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of script", IDENT: "identifier", NUMBER: "number", STRING: "string",
+	VAR: "var", FUNCTION: "function", RETURN: "return", IF: "if", ELSE: "else",
+	WHILE: "while", FOR: "for", BREAK: "break", CONTINUE: "continue",
+	TRUE: "true", FALSE: "false", NULL: "null",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", DOT: ".", SEMI: ";", COLON: ":", QUESTION: "?", ASSIGN: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	EQ: "==", NEQ: "!=", LT: "<", GT: ">", LTE: "<=", GTE: ">=",
+	AND: "&&", OR: "||", NOT: "!", PLUSEQ: "+=", MINUSEQ: "-=",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Token is one lexical unit with its source line (1-based).
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+}
+
+var keywords = map[string]Kind{
+	"var": VAR, "function": FUNCTION, "return": RETURN, "if": IF, "else": ELSE,
+	"while": WHILE, "for": FOR, "break": BREAK, "continue": CONTINUE,
+	"true": TRUE, "false": FALSE, "null": NULL,
+	// Accepted aliases from modern JavaScript task scripts.
+	"let": VAR, "const": VAR,
+}

@@ -1,0 +1,289 @@
+package script
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates runtime value types.
+type Type int
+
+// Runtime value types.
+const (
+	TypeNull Type = iota
+	TypeBool
+	TypeNumber
+	TypeString
+	TypeArray
+	TypeObject
+	TypeFunction
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "null"
+	case TypeBool:
+		return "bool"
+	case TypeNumber:
+		return "number"
+	case TypeString:
+		return "string"
+	case TypeArray:
+		return "array"
+	case TypeObject:
+		return "object"
+	case TypeFunction:
+		return "function"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Builtin is a host function exposed to scripts.
+type Builtin func(args []Value) (Value, error)
+
+// Array is a mutable script array.
+type Array struct {
+	Elems []Value
+}
+
+// Object is a mutable script object / host object.
+type Object struct {
+	props map[string]Value
+}
+
+// NewObject returns an empty object.
+func NewObject() *Object { return &Object{props: make(map[string]Value)} }
+
+// Set stores a property and returns the object for chaining.
+func (o *Object) Set(key string, v Value) *Object {
+	o.props[key] = v
+	return o
+}
+
+// Get fetches a property; ok is false when absent.
+func (o *Object) Get(key string) (Value, bool) {
+	v, ok := o.props[key]
+	return v, ok
+}
+
+// Keys returns the property names, sorted.
+func (o *Object) Keys() []string {
+	keys := make([]string, 0, len(o.props))
+	for k := range o.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// closure is a user-defined script function.
+type closure struct {
+	fn  *FuncLit
+	env *environment
+}
+
+// Value is a SenseScript runtime value.
+type Value struct {
+	typ     Type
+	boolV   bool
+	numV    float64
+	strV    string
+	arrV    *Array
+	objV    *Object
+	builtin Builtin
+	clos    *closure
+}
+
+// Null is the null value.
+var Null = Value{typ: TypeNull}
+
+// Bool wraps a Go bool.
+func Bool(b bool) Value { return Value{typ: TypeBool, boolV: b} }
+
+// Number wraps a Go float64.
+func Number(n float64) Value { return Value{typ: TypeNumber, numV: n} }
+
+// String wraps a Go string.
+func String(s string) Value { return Value{typ: TypeString, strV: s} }
+
+// NewArray wraps the given elements.
+func NewArray(elems ...Value) Value {
+	return Value{typ: TypeArray, arrV: &Array{Elems: elems}}
+}
+
+// ObjectValue wraps an Object.
+func ObjectValue(o *Object) Value { return Value{typ: TypeObject, objV: o} }
+
+// BuiltinValue wraps a host function.
+func BuiltinValue(fn Builtin) Value { return Value{typ: TypeFunction, builtin: fn} }
+
+// Type returns the value's runtime type.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.typ == TypeNull }
+
+// Bool returns the boolean payload (false for non-bools).
+func (v Value) Bool() bool { return v.typ == TypeBool && v.boolV }
+
+// Num returns the numeric payload (0 for non-numbers).
+func (v Value) Num() float64 {
+	if v.typ == TypeNumber {
+		return v.numV
+	}
+	return 0
+}
+
+// Str returns the string payload ("" for non-strings).
+func (v Value) Str() string {
+	if v.typ == TypeString {
+		return v.strV
+	}
+	return ""
+}
+
+// Arr returns the array payload (nil for non-arrays).
+func (v Value) Arr() *Array { return v.arrV }
+
+// Obj returns the object payload (nil for non-objects).
+func (v Value) Obj() *Object { return v.objV }
+
+// Truthy implements JavaScript-like truthiness.
+func (v Value) Truthy() bool {
+	switch v.typ {
+	case TypeNull:
+		return false
+	case TypeBool:
+		return v.boolV
+	case TypeNumber:
+		return v.numV != 0
+	case TypeString:
+		return v.strV != ""
+	default:
+		return true
+	}
+}
+
+// Equals implements the == operator (strict by type, structural for
+// primitives, reference for arrays/objects/functions).
+func (v Value) Equals(o Value) bool {
+	if v.typ != o.typ {
+		return false
+	}
+	switch v.typ {
+	case TypeNull:
+		return true
+	case TypeBool:
+		return v.boolV == o.boolV
+	case TypeNumber:
+		return v.numV == o.numV
+	case TypeString:
+		return v.strV == o.strV
+	case TypeArray:
+		return v.arrV == o.arrV
+	case TypeObject:
+		return v.objV == o.objV
+	case TypeFunction:
+		return v.clos != nil && v.clos == o.clos
+	default:
+		return false
+	}
+}
+
+// String renders the value for logs and dataset serialisation.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeNull:
+		return "null"
+	case TypeBool:
+		return strconv.FormatBool(v.boolV)
+	case TypeNumber:
+		return strconv.FormatFloat(v.numV, 'g', -1, 64)
+	case TypeString:
+		return v.strV
+	case TypeArray:
+		parts := make([]string, len(v.arrV.Elems))
+		for i, e := range v.arrV.Elems {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case TypeObject:
+		keys := v.objV.Keys()
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			pv, _ := v.objV.Get(k)
+			parts = append(parts, k+":"+pv.String())
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	case TypeFunction:
+		return "function"
+	default:
+		return "?"
+	}
+}
+
+// ToGo converts a value into plain Go data (float64, string, bool, nil,
+// []any, map[string]any) for JSON serialisation of collected datasets.
+func (v Value) ToGo() any {
+	switch v.typ {
+	case TypeNull:
+		return nil
+	case TypeBool:
+		return v.boolV
+	case TypeNumber:
+		return v.numV
+	case TypeString:
+		return v.strV
+	case TypeArray:
+		out := make([]any, len(v.arrV.Elems))
+		for i, e := range v.arrV.Elems {
+			out[i] = e.ToGo()
+		}
+		return out
+	case TypeObject:
+		out := make(map[string]any, len(v.objV.props))
+		for k, pv := range v.objV.props {
+			out[k] = pv.ToGo()
+		}
+		return out
+	default:
+		return v.String()
+	}
+}
+
+// FromGo converts plain Go data (as produced by encoding/json) into a Value.
+func FromGo(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null
+	case bool:
+		return Bool(t)
+	case float64:
+		return Number(t)
+	case int:
+		return Number(float64(t))
+	case int64:
+		return Number(float64(t))
+	case string:
+		return String(t)
+	case []any:
+		elems := make([]Value, len(t))
+		for i, e := range t {
+			elems[i] = FromGo(e)
+		}
+		return NewArray(elems...)
+	case map[string]any:
+		o := NewObject()
+		for k, e := range t {
+			o.Set(k, FromGo(e))
+		}
+		return ObjectValue(o)
+	default:
+		return String(fmt.Sprint(t))
+	}
+}

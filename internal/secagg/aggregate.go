@@ -1,0 +1,184 @@
+package secagg
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// HistogramSession aggregates encrypted per-cell count vectors: the Hive
+// runs one per aggregate query. It only ever sees ciphertexts.
+type HistogramSession struct {
+	pk     *PublicKey
+	cells  int
+	totals []*Ciphertext
+	n      int
+}
+
+// NewHistogramSession opens a session for vectors of the given length under
+// the Honeycomb's public key.
+func NewHistogramSession(pk *PublicKey, cells int) (*HistogramSession, error) {
+	if pk == nil {
+		return nil, fmt.Errorf("secagg: public key is required")
+	}
+	if cells <= 0 {
+		return nil, fmt.Errorf("secagg: cells must be positive, got %d", cells)
+	}
+	return &HistogramSession{pk: pk, cells: cells}, nil
+}
+
+// EncryptContribution encrypts a device's count vector (device side).
+func EncryptContribution(pk *PublicKey, counts []int64) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(counts))
+	for i, v := range counts {
+		c, err := pk.EncryptInt64(v)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: cell %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Add folds one encrypted contribution into the running totals (Hive side).
+func (s *HistogramSession) Add(contribution []*Ciphertext) error {
+	if len(contribution) != s.cells {
+		return fmt.Errorf("secagg: contribution has %d cells, want %d", len(contribution), s.cells)
+	}
+	if s.totals == nil {
+		s.totals = append([]*Ciphertext(nil), contribution...)
+		s.n = 1
+		return nil
+	}
+	for i := range s.totals {
+		s.totals[i] = s.pk.Add(s.totals[i], contribution[i])
+	}
+	s.n++
+	return nil
+}
+
+// Contributions returns the number of folded contributions.
+func (s *HistogramSession) Contributions() int { return s.n }
+
+// Decrypt opens the aggregate with the Honeycomb's private key.
+func (s *HistogramSession) Decrypt(sk *PrivateKey) ([]int64, error) {
+	if s.totals == nil {
+		return make([]int64, s.cells), nil
+	}
+	out := make([]int64, s.cells)
+	for i, c := range s.totals {
+		v, err := sk.DecryptInt64(c)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: cell %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ---- additive secret sharing ----
+
+// shareModulus bounds share arithmetic; sums of millions of counts stay far
+// below it.
+var shareModulus = new(big.Int).Lsh(one, 62)
+
+// Shares is one aggregator's view of a contribution: meaningless alone.
+type Shares []*big.Int
+
+// Split splits a count vector into k shares such that the element-wise sum
+// of all shares mod 2^62 reconstructs the vector. Any k-1 shares are
+// uniformly random.
+func Split(counts []int64, k int) ([]Shares, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("secagg: need at least 2 shares, got %d", k)
+	}
+	for i, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("secagg: negative count %d at cell %d", v, i)
+		}
+	}
+	out := make([]Shares, k)
+	for s := range out {
+		out[s] = make(Shares, len(counts))
+	}
+	for i, v := range counts {
+		acc := new(big.Int)
+		for s := 0; s < k-1; s++ {
+			r, err := rand.Int(rand.Reader, shareModulus)
+			if err != nil {
+				return nil, fmt.Errorf("secagg: sample share: %w", err)
+			}
+			out[s][i] = r
+			acc.Add(acc, r)
+		}
+		last := new(big.Int).SetInt64(v)
+		last.Sub(last, acc)
+		last.Mod(last, shareModulus)
+		out[k-1][i] = last
+	}
+	return out, nil
+}
+
+// ShareAggregator sums the shares it receives (one per aggregator server).
+type ShareAggregator struct {
+	sums []*big.Int
+	n    int
+}
+
+// NewShareAggregator creates an aggregator for vectors of the given length.
+func NewShareAggregator(cells int) (*ShareAggregator, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("secagg: cells must be positive, got %d", cells)
+	}
+	sums := make([]*big.Int, cells)
+	for i := range sums {
+		sums[i] = new(big.Int)
+	}
+	return &ShareAggregator{sums: sums}, nil
+}
+
+// Add folds one share vector.
+func (a *ShareAggregator) Add(s Shares) error {
+	if len(s) != len(a.sums) {
+		return fmt.Errorf("secagg: share has %d cells, want %d", len(s), len(a.sums))
+	}
+	for i, v := range s {
+		a.sums[i].Add(a.sums[i], v)
+		a.sums[i].Mod(a.sums[i], shareModulus)
+	}
+	a.n++
+	return nil
+}
+
+// Sum returns this aggregator's share of the total.
+func (a *ShareAggregator) Sum() Shares {
+	out := make(Shares, len(a.sums))
+	for i, v := range a.sums {
+		out[i] = new(big.Int).Set(v)
+	}
+	return out
+}
+
+// Combine reconstructs the aggregate vector from all aggregators' sums.
+func Combine(sums []Shares) ([]int64, error) {
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("secagg: no shares to combine")
+	}
+	cells := len(sums[0])
+	out := make([]int64, cells)
+	for i := 0; i < cells; i++ {
+		acc := new(big.Int)
+		for s, sh := range sums {
+			if len(sh) != cells {
+				return nil, fmt.Errorf("secagg: aggregator %d has %d cells, want %d", s, len(sh), cells)
+			}
+			acc.Add(acc, sh[i])
+		}
+		acc.Mod(acc, shareModulus)
+		if !acc.IsInt64() {
+			return nil, fmt.Errorf("secagg: cell %d overflows int64", i)
+		}
+		out[i] = acc.Int64()
+	}
+	return out, nil
+}

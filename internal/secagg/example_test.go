@@ -1,0 +1,45 @@
+package secagg_test
+
+import (
+	"fmt"
+
+	"apisense/internal/secagg"
+)
+
+// Example shows the private-heatmap flow: devices encrypt their per-cell
+// counts, the Hive folds ciphertexts, the Honeycomb decrypts only the sum.
+func Example() {
+	key, err := secagg.GenerateKey(512) // test size; use >= 2048 in production
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	session, err := secagg.NewHistogramSession(&key.PublicKey, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, deviceCounts := range [][]int64{
+		{1, 0, 2, 0},
+		{0, 3, 1, 0},
+		{4, 0, 0, 1},
+	} {
+		encrypted, err := secagg.EncryptContribution(&key.PublicKey, deviceCounts)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if err := session.Add(encrypted); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	total, err := session.Decrypt(key)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(total)
+	// Output:
+	// [5 3 3 1]
+}

@@ -1,0 +1,168 @@
+// Package secagg provides secure aggregation for crowd-sensing statistics —
+// the natural extension of the paper's platform (§4 positions APISENSE as an
+// open platform; aggregate queries such as crowd-density heatmaps can be
+// computed without the Hive ever seeing per-device values).
+//
+// Two constructions are provided:
+//
+//   - Paillier: an additively homomorphic public-key cryptosystem. Devices
+//     encrypt their per-cell counts under the Honeycomb's public key; the
+//     Hive multiplies ciphertexts (adding plaintexts) and forwards only the
+//     aggregate, which the Honeycomb decrypts.
+//   - Additive secret sharing: each device splits its vector into shares
+//     for non-colluding aggregators; the sum of share-sums reconstructs the
+//     total. Cheaper, but needs two servers that do not collude.
+//
+// Implemented from scratch on math/big and crypto/rand (stdlib only).
+package secagg
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key.
+type PublicKey struct {
+	// N is the modulus (product of two primes).
+	N *big.Int
+	// N2 caches N².
+	N2 *big.Int
+}
+
+// PrivateKey is a Paillier private key.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
+}
+
+// GenerateKey creates a Paillier key pair with an n of the given bit size
+// (>= 256; use >= 2048 for real deployments, smaller sizes only in tests).
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 256 {
+		return nil, fmt.Errorf("secagg: key size %d too small (min 256)", bits)
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: generate prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: generate prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		n2 := new(big.Int).Mul(n, n)
+
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+
+		// g = n+1, so g^lambda mod n^2 = 1 + lambda*n mod n^2, and
+		// mu = (L(g^lambda mod n^2))^-1 = lambda^-1 mod n.
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue // lambda not invertible: re-draw primes
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// Ciphertext is a Paillier ciphertext.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Encrypt encrypts a non-negative integer m < N.
+func (pk *PublicKey) Encrypt(m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("secagg: plaintext out of range [0, N)")
+	}
+	// r uniform in [1, N) with gcd(r, N) = 1 (holds w.h.p. for random r).
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: sample randomizer: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// c = (1 + m*N) * r^N mod N^2   (using g = N+1).
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptInt64 encrypts a non-negative int64.
+func (pk *PublicKey) EncryptInt64(v int64) (*Ciphertext, error) {
+	if v < 0 {
+		return nil, fmt.Errorf("secagg: negative value %d", v)
+	}
+	return pk.Encrypt(big.NewInt(v))
+}
+
+// Add returns the ciphertext of the sum of the two plaintexts.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// AddPlain returns the ciphertext of (plaintext of c) + k.
+func (pk *PublicKey) AddPlain(c *Ciphertext, k *big.Int) *Ciphertext {
+	gk := new(big.Int).Mul(k, pk.N)
+	gk.Add(gk, one)
+	gk.Mod(gk, pk.N2)
+	out := new(big.Int).Mul(c.C, gk)
+	out.Mod(out, pk.N2)
+	return &Ciphertext{C: out}
+}
+
+// MulPlain returns the ciphertext of (plaintext of c) * k.
+func (pk *PublicKey) MulPlain(c *Ciphertext, k *big.Int) *Ciphertext {
+	return &Ciphertext{C: new(big.Int).Exp(c.C, k, pk.N2)}
+}
+
+// Decrypt recovers the plaintext of c.
+func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if c == nil || c.C == nil || c.C.Sign() <= 0 || c.C.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("secagg: ciphertext out of range")
+	}
+	// m = L(c^lambda mod N^2) * mu mod N, with L(x) = (x-1)/N.
+	x := new(big.Int).Exp(c.C, sk.lambda, sk.N2)
+	x.Sub(x, one)
+	x.Div(x, sk.N)
+	x.Mul(x, sk.mu)
+	x.Mod(x, sk.N)
+	return x, nil
+}
+
+// DecryptInt64 decrypts and narrows to int64.
+func (sk *PrivateKey) DecryptInt64(c *Ciphertext) (int64, error) {
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return 0, err
+	}
+	if !m.IsInt64() {
+		return 0, fmt.Errorf("secagg: plaintext exceeds int64")
+	}
+	return m.Int64(), nil
+}

@@ -1,0 +1,301 @@
+package secagg
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKey is generated once: Paillier keygen is the expensive part.
+var (
+	keyOnce sync.Once
+	testKey *PrivateKey
+)
+
+func key(t *testing.T) *PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		k, err := GenerateKey(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	if _, err := GenerateKey(64); err == nil {
+		t.Error("tiny key should be rejected")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, v := range []int64{0, 1, 42, 1_000_000, 1 << 40} {
+		c, err := sk.EncryptInt64(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.DecryptInt64(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.EncryptInt64(-1); err == nil {
+		t.Error("negative plaintext should fail")
+	}
+	if _, err := sk.Encrypt(new(big.Int).Set(sk.N)); err == nil {
+		t.Error("plaintext >= N should fail")
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Decrypt(nil); err == nil {
+		t.Error("nil ciphertext should fail")
+	}
+	if _, err := sk.Decrypt(&Ciphertext{C: big.NewInt(0)}); err == nil {
+		t.Error("zero ciphertext should fail")
+	}
+	if _, err := sk.Decrypt(&Ciphertext{C: new(big.Int).Set(sk.N2)}); err == nil {
+		t.Error("oversized ciphertext should fail")
+	}
+}
+
+func TestCiphertextsAreRandomized(t *testing.T) {
+	sk := key(t)
+	a, err := sk.EncryptInt64(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sk.EncryptInt64(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("two encryptions of the same value are identical (no semantic security)")
+	}
+}
+
+func TestHomomorphicAddProperty(t *testing.T) {
+	sk := key(t)
+	f := func(a, b uint32) bool {
+		ca, err := sk.EncryptInt64(int64(a))
+		if err != nil {
+			return false
+		}
+		cb, err := sk.EncryptInt64(int64(b))
+		if err != nil {
+			return false
+		}
+		sum, err := sk.DecryptInt64(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return sum == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddPlainAndMulPlain(t *testing.T) {
+	sk := key(t)
+	c, err := sk.EncryptInt64(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := sk.DecryptInt64(sk.AddPlain(c, big.NewInt(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus != 42 {
+		t.Errorf("AddPlain = %d, want 42", plus)
+	}
+	times, err := sk.DecryptInt64(sk.MulPlain(c, big.NewInt(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times != 50 {
+		t.Errorf("MulPlain = %d, want 50", times)
+	}
+}
+
+func TestHistogramSession(t *testing.T) {
+	sk := key(t)
+	if _, err := NewHistogramSession(nil, 4); err == nil {
+		t.Error("nil key should fail")
+	}
+	if _, err := NewHistogramSession(&sk.PublicKey, 0); err == nil {
+		t.Error("zero cells should fail")
+	}
+
+	sess, err := NewHistogramSession(&sk.PublicKey, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty session decrypts to zeros.
+	zero, err := sess.Decrypt(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("empty session not zero")
+		}
+	}
+
+	device1 := []int64{1, 0, 2, 5}
+	device2 := []int64{0, 3, 1, 1}
+	device3 := []int64{4, 0, 0, 2}
+	want := []int64{5, 3, 3, 8}
+	for _, counts := range [][]int64{device1, device2, device3} {
+		enc, err := EncryptContribution(&sk.PublicKey, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Add(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Contributions() != 3 {
+		t.Errorf("contributions = %d", sess.Contributions())
+	}
+	if err := sess.Add(make([]*Ciphertext, 2)); err == nil {
+		t.Error("wrong-length contribution should fail")
+	}
+	got, err := sess.Decrypt(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncryptContributionRejectsNegative(t *testing.T) {
+	sk := key(t)
+	if _, err := EncryptContribution(&sk.PublicKey, []int64{1, -2}); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestSecretSharingRoundTrip(t *testing.T) {
+	counts := []int64{7, 0, 123456, 1}
+	shares, err := Split(counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 {
+		t.Fatalf("got %d shares", len(shares))
+	}
+	// No single share equals the plaintext (overwhelming probability).
+	for s, sh := range shares {
+		same := true
+		for i := range counts {
+			if sh[i].Cmp(big.NewInt(counts[i])) != 0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("share %d leaks the plaintext", s)
+		}
+	}
+	aggs := make([]*ShareAggregator, 3)
+	for i := range aggs {
+		a, err := NewShareAggregator(len(counts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs[i] = a
+		if err := aggs[i].Add(shares[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums := make([]Shares, 3)
+	for i, a := range aggs {
+		sums[i] = a.Sum()
+	}
+	got, err := Combine(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got[i] != counts[i] {
+			t.Errorf("cell %d = %d, want %d", i, got[i], counts[i])
+		}
+	}
+}
+
+func TestSecretSharingMultipleContributors(t *testing.T) {
+	aggA, err := NewShareAggregator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggB, err := NewShareAggregator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 0, 0}
+	for _, counts := range [][]int64{{1, 2, 3}, {10, 0, 5}, {0, 7, 0}} {
+		for i := range counts {
+			want[i] += counts[i]
+		}
+		shares, err := Split(counts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aggA.Add(shares[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := aggB.Add(shares[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Combine([]Shares{aggA.Sum(), aggB.Sum()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSecretSharingValidation(t *testing.T) {
+	if _, err := Split([]int64{1}, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := Split([]int64{-1}, 2); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := NewShareAggregator(0); err == nil {
+		t.Error("zero cells should fail")
+	}
+	if _, err := Combine(nil); err == nil {
+		t.Error("empty combine should fail")
+	}
+	a, err := NewShareAggregator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Shares{big.NewInt(1)}); err == nil {
+		t.Error("wrong-length share should fail")
+	}
+	if _, err := Combine([]Shares{{big.NewInt(1), big.NewInt(2)}, {big.NewInt(3)}}); err == nil {
+		t.Error("ragged combine should fail")
+	}
+}

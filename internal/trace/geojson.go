@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// GeoJSON export: each trajectory becomes a LineString feature with the
+// user id and time span as properties, ready for visual inspection in any
+// GIS tool or web map. Only an exporter is provided — GeoJSON drops the
+// per-record timestamps, so it is not a round-trippable storage format.
+
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+	Properties map[string]any  `json:"properties"`
+}
+
+type geoJSONGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+// WriteGeoJSON writes the dataset as a GeoJSON FeatureCollection of
+// LineStrings (one per trajectory with at least two records; shorter
+// trajectories are skipped, as GeoJSON LineStrings need two positions).
+func WriteGeoJSON(w io.Writer, d *Dataset) error {
+	fc := geoJSONFeatureCollection{Type: "FeatureCollection"}
+	for _, t := range d.Trajectories {
+		if t.Len() < 2 {
+			continue
+		}
+		coords := make([][2]float64, t.Len())
+		for i, r := range t.Records {
+			coords[i] = [2]float64{r.Pos.Lon, r.Pos.Lat} // GeoJSON is lon,lat
+		}
+		start, _ := t.Start()
+		end, _ := t.End()
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type:     "Feature",
+			Geometry: geoJSONGeometry{Type: "LineString", Coordinates: coords},
+			Properties: map[string]any{
+				"user":  t.User,
+				"start": start,
+				"end":   end,
+				"fixes": t.Len(),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("trace: encode geojson: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteGeoJSON(t *testing.T) {
+	d := NewDataset()
+	d.Add(walkTrajectory("alice", 5, 1.5, time.Minute))
+	d.Add(&Trajectory{User: "tiny", Records: walkTrajectory("tiny", 1, 1, time.Minute).Records})
+
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string       `json:"type"`
+				Coordinates [][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	if len(fc.Features) != 1 {
+		t.Fatalf("features = %d, want 1 (single-record trajectory skipped)", len(fc.Features))
+	}
+	f := fc.Features[0]
+	if f.Geometry.Type != "LineString" || len(f.Geometry.Coordinates) != 5 {
+		t.Errorf("geometry = %+v", f.Geometry)
+	}
+	// GeoJSON order is lon,lat.
+	if f.Geometry.Coordinates[0][0] != lyon.Lon || f.Geometry.Coordinates[0][1] != lyon.Lat {
+		t.Errorf("first coordinate = %v, want lon,lat of start", f.Geometry.Coordinates[0])
+	}
+	if f.Properties["user"] != "alice" {
+		t.Errorf("user property = %v", f.Properties["user"])
+	}
+	if f.Properties["fixes"].(float64) != 5 {
+		t.Errorf("fixes property = %v", f.Properties["fixes"])
+	}
+}

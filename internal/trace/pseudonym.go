@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"apisense/internal/geo"
+)
+
+func geoPoint(lat, lon float64) geo.Point { return geo.Point{Lat: lat, Lon: lon} }
+
+// Pseudonymizer replaces user identifiers with stable pseudonyms derived
+// from an HMAC-SHA256 keyed by a release-specific secret. The same user maps
+// to the same pseudonym within one release, but pseudonyms are unlinkable
+// across releases with different keys — the first, identity-level layer of
+// the PRIVAPI publication pipeline.
+type Pseudonymizer struct {
+	key []byte
+}
+
+// NewPseudonymizer creates a pseudonymizer keyed by key. The key must not be
+// empty.
+func NewPseudonymizer(key []byte) (*Pseudonymizer, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("trace: pseudonymizer key must not be empty")
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Pseudonymizer{key: k}, nil
+}
+
+// Pseudonym returns the stable pseudonym for the given user identifier.
+func (p *Pseudonymizer) Pseudonym(user string) string {
+	mac := hmac.New(sha256.New, p.key)
+	mac.Write([]byte(user))
+	return "u-" + hex.EncodeToString(mac.Sum(nil))[:16]
+}
+
+// Apply returns a copy of the dataset with every user replaced by their
+// pseudonym.
+func (p *Pseudonymizer) Apply(d *Dataset) *Dataset {
+	out := d.Clone()
+	for _, t := range out.Trajectories {
+		t.User = p.Pseudonym(t.User)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package transport defines the wire types exchanged between the Hive, the
+// Honeycomb endpoints and the mobile devices (Fig. 1 of the paper), plus a
+// small JSON/HTTP client with timeouts and retries used by both sides.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Region is a recruitment area: devices whose last known position falls
+// within Radius metres of the centre qualify.
+type Region struct {
+	Lat    float64 `json:"lat"`
+	Lon    float64 `json:"lon"`
+	Radius float64 `json:"radiusMeters"`
+}
+
+// TaskSpec describes a crowd-sensing task: a SenseScript program plus its
+// deployment envelope. Honeycomb endpoints author specs and upload them to
+// the Hive; the Hive offloads them onto qualifying devices.
+type TaskSpec struct {
+	// ID is assigned by the Hive on publication.
+	ID string `json:"id,omitempty"`
+	// Name is a human-readable label.
+	Name string `json:"name"`
+	// Author identifies the publishing Honeycomb.
+	Author string `json:"author"`
+	// Script is the SenseScript source offloaded to devices.
+	Script string `json:"script"`
+	// Sensors lists the sensors the task needs; devices whose users did
+	// not share them are not recruited.
+	Sensors []string `json:"sensors"`
+	// PeriodSeconds is the sampling period of the device loop.
+	PeriodSeconds int `json:"periodSeconds"`
+	// Region optionally restricts recruitment geographically.
+	Region *Region `json:"region,omitempty"`
+	// MaxRecords caps the number of records one device uploads (0 means
+	// unlimited).
+	MaxRecords int `json:"maxRecords,omitempty"`
+	// Incentive names the incentive strategy attached to the task.
+	Incentive string `json:"incentive,omitempty"`
+}
+
+// Validate reports structural problems in a spec.
+func (s TaskSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("transport: task name is required")
+	}
+	if s.Script == "" {
+		return fmt.Errorf("transport: task script is required")
+	}
+	if s.PeriodSeconds <= 0 {
+		return fmt.Errorf("transport: task period must be positive, got %d", s.PeriodSeconds)
+	}
+	if s.MaxRecords < 0 {
+		return fmt.Errorf("transport: MaxRecords must be >= 0")
+	}
+	return nil
+}
+
+// DeviceInfo is what a device reveals to the Hive when registering. The
+// position is the (possibly blurred) last known location used for regional
+// recruitment.
+type DeviceInfo struct {
+	ID      string   `json:"id"`
+	User    string   `json:"user"`
+	Sensors []string `json:"sensors"`
+	Battery float64  `json:"battery"`
+	Lat     float64  `json:"lat"`
+	Lon     float64  `json:"lon"`
+}
+
+// UploadRecord is one sensed record inside an upload.
+type UploadRecord struct {
+	Sensor     string         `json:"sensor"`
+	TimeMillis int64          `json:"timeMillis"`
+	Data       map[string]any `json:"data"`
+}
+
+// Upload is a batch of records a device sends back for one task.
+type Upload struct {
+	TaskID   string         `json:"taskId"`
+	DeviceID string         `json:"deviceId"`
+	Records  []UploadRecord `json:"records"`
+	Logs     []string       `json:"logs,omitempty"`
+}
+
+// Client is a JSON-over-HTTP client with bounded retries.
+type Client struct {
+	base    string
+	http    *http.Client
+	retries int
+}
+
+// NewClient creates a client for the given base URL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base:    baseURL,
+		http:    &http.Client{Timeout: 10 * time.Second},
+		retries: 2,
+	}
+}
+
+// ErrStatus is the error type for non-2xx HTTP responses.
+type ErrStatus struct {
+	Code int
+	Body string
+}
+
+// Error implements error.
+func (e *ErrStatus) Error() string {
+	return fmt.Sprintf("transport: http %d: %s", e.Code, e.Body)
+}
+
+// Do performs a JSON request. in may be nil (no body); out may be nil
+// (response discarded). Requests are retried on transport errors and 5xx
+// responses.
+func (c *Client) Do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("transport: marshal request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("transport: build request: %w", err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("transport: %s %s: %w", method, path, err)
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("transport: read response: %w", err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = &ErrStatus{Code: resp.StatusCode, Body: string(data)}
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			return &ErrStatus{Code: resp.StatusCode, Body: string(data)}
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("transport: unmarshal response: %w", err)
+			}
+		}
+		return nil
+	}
+	return lastErr
+}

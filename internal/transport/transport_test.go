@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskSpecValidate(t *testing.T) {
+	good := TaskSpec{Name: "t", Script: "var x = 1;", PeriodSeconds: 60}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		spec TaskSpec
+	}{
+		{"no name", TaskSpec{Script: "x", PeriodSeconds: 1}},
+		{"no script", TaskSpec{Name: "t", PeriodSeconds: 1}},
+		{"zero period", TaskSpec{Name: "t", Script: "x"}},
+		{"negative period", TaskSpec{Name: "t", Script: "x", PeriodSeconds: -5}},
+		{"negative max", TaskSpec{Name: "t", Script: "x", PeriodSeconds: 1, MaxRecords: -1}},
+	}
+	for _, tt := range tests {
+		if err := tt.spec.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tt.name)
+		}
+	}
+}
+
+func TestClientRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte(`{"ok":true}`)); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := NewClient(srv.URL).Do(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
+		t.Fatalf("Do after retries: %v", err)
+	}
+	if !out.OK {
+		t.Error("response not decoded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server called %d times, want 3", got)
+	}
+}
+
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	err := NewClient(srv.URL).Do(context.Background(), http.MethodGet, "/x", nil, nil)
+	var status *ErrStatus
+	if !errors.As(err, &status) || status.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want ErrStatus 500", err)
+	}
+	if got := calls.Load(); got != 3 { // initial + 2 retries
+		t.Errorf("server called %d times, want 3", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	err := NewClient(srv.URL).Do(context.Background(), http.MethodGet, "/x", nil, nil)
+	var status *ErrStatus
+	if !errors.As(err, &status) || status.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want ErrStatus 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server called %d times, want 1 (no retry on 4xx)", got)
+	}
+	if status.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestClientSendsBodyAndContentType(t *testing.T) {
+	type ping struct {
+		Value int `json:"value"`
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q", ct)
+		}
+		var in ping
+		if err := decodeBody(r, &in); err != nil {
+			t.Error(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte(`{"value":42}`)); err != nil {
+			t.Error(err)
+		}
+		if in.Value != 7 {
+			t.Errorf("request value = %d", in.Value)
+		}
+	}))
+	defer srv.Close()
+	var out ping
+	if err := NewClient(srv.URL).Do(context.Background(), http.MethodPost, "/x", ping{Value: 7}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != 42 {
+		t.Errorf("response value = %d", out.Value)
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+func TestClientBadResponseJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte("{broken")); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+	var out map[string]any
+	if err := NewClient(srv.URL).Do(context.Background(), http.MethodGet, "/x", nil, &out); err == nil {
+		t.Error("expected unmarshal error")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError) // forces retry path
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := NewClient(srv.URL).Do(ctx, http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Error("expected error with cancelled context")
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	// A port that nothing listens on: transport errors surface after
+	// retries.
+	err := NewClient("http://127.0.0.1:1").Do(context.Background(), http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Error("expected connection error")
+	}
+}

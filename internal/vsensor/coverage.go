@@ -1,0 +1,63 @@
+package vsensor
+
+import (
+	"fmt"
+	"time"
+
+	"apisense/internal/device"
+	"apisense/internal/geo"
+)
+
+// CoverageAware elects the device currently located in the least-sampled
+// grid cell, maximising the spatial coverage of the collected dataset. It
+// is the third orchestration strategy family the paper's §2 alludes to
+// ("according to different strategies"): where round-robin optimises
+// fairness and energy-aware optimises survival, coverage-aware optimises
+// the dataset itself.
+type CoverageAware struct {
+	grid   *geo.Grid
+	counts map[geo.Cell]int
+}
+
+var _ Strategy = (*CoverageAware)(nil)
+
+// NewCoverageAware returns a coverage-maximising strategy over the given
+// analysis grid.
+func NewCoverageAware(grid *geo.Grid) (*CoverageAware, error) {
+	if grid == nil {
+		return nil, fmt.Errorf("vsensor: grid is required")
+	}
+	return &CoverageAware{grid: grid, counts: make(map[geo.Cell]int)}, nil
+}
+
+// Name implements Strategy.
+func (*CoverageAware) Name() string { return "coverage-aware" }
+
+// Pick implements Strategy: among usable devices, choose the one standing
+// in the cell with the fewest samples so far (ties broken by battery).
+func (c *CoverageAware) Pick(devices []*device.Device, candidates []int, _ int, ts time.Time) int {
+	best := -1
+	bestCount := int(^uint(0) >> 1)
+	bestBattery := -1.0
+	for _, idx := range candidates {
+		pos, ok := devices[idx].PositionAt(ts)
+		if !ok {
+			continue
+		}
+		cell := c.grid.CellOf(pos)
+		n := c.counts[cell]
+		battery := devices[idx].Battery().Level()
+		if n < bestCount || (n == bestCount && battery > bestBattery) {
+			best, bestCount, bestBattery = idx, n, battery
+		}
+	}
+	if best >= 0 {
+		if pos, ok := devices[best].PositionAt(ts); ok {
+			c.counts[c.grid.CellOf(pos)]++
+		}
+	}
+	return best
+}
+
+// CellsCovered returns the number of distinct cells sampled so far.
+func (c *CoverageAware) CellsCovered() int { return len(c.counts) }

@@ -1,0 +1,98 @@
+package vsensor
+
+import (
+	"testing"
+	"time"
+
+	"apisense/internal/geo"
+)
+
+func coverageGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	box, _ := geo.NewBBox([]geo.Point{
+		geo.Translate(lyon, -10000, -10000),
+		geo.Translate(lyon, 10000, 10000),
+	})
+	g, err := geo.NewGrid(box, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewCoverageAwareValidation(t *testing.T) {
+	if _, err := NewCoverageAware(nil); err == nil {
+		t.Error("nil grid should fail")
+	}
+}
+
+func TestCoverageAwareSpreadsAcrossCells(t *testing.T) {
+	// Devices 0..3 move along separated parallel tracks (group() offsets
+	// each device 100 m north of the previous); coverage-aware must rotate
+	// across them instead of hammering one.
+	devs := group(t, 4, 2)
+	ca, err := NewCoverageAware(coverageGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := New("vs", devs, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vs.Campaign(t0, t0.Add(time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	if len(res.PerDevice) < 3 {
+		t.Errorf("coverage-aware used only %d devices: %v", len(res.PerDevice), res.PerDevice)
+	}
+	if ca.CellsCovered() == 0 {
+		t.Error("no cells recorded")
+	}
+}
+
+func TestCoverageAwareBeatsRoundRobinOnCoverage(t *testing.T) {
+	grid := coverageGrid(t)
+	distinctCells := func(s Strategy) map[geo.Cell]bool {
+		devs := group(t, 6, 3)
+		vs, err := New("vs", devs, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := vs.Campaign(t0, t0.Add(3*time.Hour), 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := make(map[geo.Cell]bool)
+		for _, rec := range res.Records {
+			lat, _ := rec.Data["lat"].(float64)
+			lon, _ := rec.Data["lon"].(float64)
+			cells[grid.CellOf(geo.Point{Lat: lat, Lon: lon})] = true
+		}
+		return cells
+	}
+	ca, err := NewCoverageAware(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covCA := len(distinctCells(ca))
+	covRR := len(distinctCells(RoundRobin{}))
+	if covCA < covRR {
+		t.Errorf("coverage-aware covered %d cells, round-robin %d; expected >=", covCA, covRR)
+	}
+}
+
+func TestCoverageAwareSkipsOutOfWindowDevices(t *testing.T) {
+	devs := group(t, 2, 1)
+	ca, err := NewCoverageAware(coverageGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any device's movement window, no candidate has a position.
+	if got := ca.Pick(devs, []int{0, 1}, 0, t0.Add(-time.Hour)); got != -1 {
+		t.Errorf("Pick before window = %d, want -1", got)
+	}
+}

@@ -1,0 +1,230 @@
+package vsensor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"apisense/internal/device"
+	"apisense/internal/geo"
+	"apisense/internal/trace"
+)
+
+var (
+	lyon = geo.Point{Lat: 45.7640, Lon: 4.8357}
+	t0   = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+)
+
+// group builds n devices that all move for `hours` hours, with the given
+// initial battery levels (cycled).
+func group(t *testing.T, n int, hours float64, batteries ...float64) []*device.Device {
+	t.Helper()
+	if len(batteries) == 0 {
+		batteries = []float64{100}
+	}
+	var out []*device.Device
+	for i := 0; i < n; i++ {
+		tr := &trace.Trajectory{User: fmt.Sprintf("u%02d", i)}
+		steps := int(hours * 60)
+		for s := 0; s <= steps; s++ {
+			tr.Records = append(tr.Records, trace.Record{
+				Time: t0.Add(time.Duration(s) * time.Minute),
+				Pos:  geo.Translate(lyon, float64(s)*50, float64(i)*100),
+			})
+		}
+		b := device.NewBattery(batteries[i%len(batteries)])
+		b.DrainPerFix = 0.5 // aggressive, to observe depletion
+		d, err := device.New(device.Config{
+			ID: fmt.Sprintf("dev-%02d", i), User: tr.User, Movement: tr, Battery: b,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	devs := group(t, 2, 1)
+	if _, err := New("", devs, RoundRobin{}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := New("vs", nil, RoundRobin{}); err == nil {
+		t.Error("empty group should fail")
+	}
+	if _, err := New("vs", devs, nil); err == nil {
+		t.Error("nil strategy should fail")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	devs := group(t, 3, 2)
+	vs, err := New("vs", devs, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for round := 0; round < 6; round++ {
+		_, d, ok := vs.Read(t0.Add(time.Duration(round)*time.Minute), round)
+		if !ok {
+			t.Fatalf("round %d failed", round)
+		}
+		seen[d.ID()]++
+	}
+	for id, n := range seen {
+		if n != 2 {
+			t.Errorf("device %s served %d rounds, want 2", id, n)
+		}
+	}
+}
+
+func TestEnergyAwarePicksHighestBattery(t *testing.T) {
+	devs := group(t, 3, 2, 30, 90, 60)
+	vs, err := New("vs", devs, EnergyAware{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d, ok := vs.Read(t0, 0)
+	if !ok {
+		t.Fatal("read failed")
+	}
+	if d.ID() != "dev-01" { // battery 90
+		t.Errorf("picked %s, want dev-01 (highest battery)", d.ID())
+	}
+}
+
+func TestReadFallsBackWhenDeviceCannotSample(t *testing.T) {
+	devs := group(t, 2, 1, 0, 80) // first device dead
+	vs, err := New("vs", devs, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d, ok := vs.Read(t0, 0)
+	if !ok {
+		t.Fatal("read failed despite a live device")
+	}
+	if d.ID() != "dev-01" {
+		t.Errorf("picked %s, want fallback dev-01", d.ID())
+	}
+}
+
+func TestReadFailsWhenAllDead(t *testing.T) {
+	devs := group(t, 2, 1, 0)
+	vs, err := New("vs", devs, EnergyAware{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := vs.Read(t0, 0); ok {
+		t.Error("read succeeded with all devices dead")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	vs, err := New("vs", group(t, 2, 1), RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Campaign(t0, t0.Add(time.Hour), 0); err == nil {
+		t.Error("zero period should fail")
+	}
+}
+
+func TestCampaignEnergyAwareBeatsRoundRobinOnSurvival(t *testing.T) {
+	// Heterogeneous batteries: energy-aware protects the weak devices, so
+	// fewer die and the final battery spread is tighter.
+	run := func(s Strategy) CampaignResult {
+		devs := group(t, 8, 8, 15, 100, 40, 100, 20, 100, 60, 100)
+		vs, err := New("vs", devs, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := vs.Campaign(t0, t0.Add(8*time.Hour), 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rr := run(RoundRobin{})
+	ea := run(EnergyAware{})
+
+	if ea.Dead > rr.Dead {
+		t.Errorf("energy-aware killed %d devices vs round-robin %d", ea.Dead, rr.Dead)
+	}
+	if ea.BatteryStd > rr.BatteryStd {
+		t.Errorf("energy-aware battery spread %.2f should be tighter than round-robin %.2f",
+			ea.BatteryStd, rr.BatteryStd)
+	}
+	if ea.Samples < rr.Samples {
+		t.Errorf("energy-aware delivered %d samples vs %d", ea.Samples, rr.Samples)
+	}
+	if rr.String() == "" || ea.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCampaignCollectsRecords(t *testing.T) {
+	devs := group(t, 4, 2)
+	vs, err := New("vs", devs, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vs.Campaign(t0, t0.Add(time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 61 {
+		t.Errorf("rounds = %d, want 61", res.Rounds)
+	}
+	if res.Samples != len(res.Records) {
+		t.Errorf("samples %d != records %d", res.Samples, len(res.Records))
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	if res.Fairness < 0.9 {
+		t.Errorf("round-robin fairness = %.3f, want ~1", res.Fairness)
+	}
+}
+
+func TestRandomStrategyDeterministic(t *testing.T) {
+	pick := func() []string {
+		devs := group(t, 5, 1)
+		vs, err := New("vs", devs, NewRandom(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for round := 0; round < 10; round++ {
+			_, d, ok := vs.Read(t0.Add(time.Duration(round)*time.Minute), round)
+			if !ok {
+				t.Fatal("read failed")
+			}
+			ids = append(ids, d.ID())
+		}
+		return ids
+	}
+	a := pick()
+	b := pick()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random strategy with same seed diverged")
+		}
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := jain(map[string]int{"a": 5, "b": 5}, 2); got < 0.999 {
+		t.Errorf("equal counts fairness = %v, want 1", got)
+	}
+	skewed := jain(map[string]int{"a": 10}, 2)
+	if skewed > 0.51 {
+		t.Errorf("skewed fairness = %v, want ~0.5", skewed)
+	}
+	if got := jain(nil, 3); got != 0 {
+		t.Errorf("no samples fairness = %v, want 0", got)
+	}
+	if got := jain(nil, 0); got != 0 {
+		t.Errorf("zero devices fairness = %v, want 0", got)
+	}
+}
