@@ -32,6 +32,8 @@
 package apisense
 
 import (
+	"context"
+
 	"apisense/internal/attack"
 	"apisense/internal/core"
 	"apisense/internal/device"
@@ -141,6 +143,11 @@ func NewLinker(e POIExtractor, mergeRadius float64) (*attack.Linker, error) {
 // ---- protection mechanisms ----
 
 // Mechanism transforms a trajectory into its protected counterpart.
+// Implementations must not mutate the input and must be safe for
+// concurrent Protect calls: Protect and the PRIVAPI evaluation engine run
+// mechanisms on multiple goroutines. All built-in mechanisms are immutable
+// after construction; custom ones holding mutable state (e.g. a shared
+// *math/rand.Rand) must derive per-call state instead.
 type Mechanism = lppm.Mechanism
 
 // Identity is the no-protection baseline mechanism.
@@ -168,16 +175,28 @@ func NewCloaking(cellMeters float64, origin Point) (Mechanism, error) {
 // "smoothing:eps=100" or "geoind:eps=0.01" (see internal/lppm.FromSpec).
 func MechanismFromSpec(spec string) (Mechanism, error) { return lppm.FromSpec(spec) }
 
-// Protect applies a mechanism to a whole dataset.
+// Protect applies a mechanism to a whole dataset, parallelising across
+// trajectories (one worker per CPU).
 func Protect(m Mechanism, d *Dataset) (*Dataset, error) { return lppm.ProtectDataset(m, d) }
+
+// ProtectContext applies a mechanism to a whole dataset on up to
+// parallelism worker goroutines (<= 0 selects one per CPU), honouring
+// cancellation of ctx. The output is byte-identical for any parallelism.
+func ProtectContext(ctx context.Context, m Mechanism, d *Dataset, parallelism int) (*Dataset, error) {
+	return lppm.ProtectDatasetContext(ctx, m, d, parallelism)
+}
 
 // ---- PRIVAPI middleware ----
 
 // PRIVAPI types.
 type (
-	// PrivacyConfig parameterises the PRIVAPI middleware.
+	// PrivacyConfig parameterises the PRIVAPI middleware (see
+	// PrivacyConfig.Parallelism for the evaluation-engine worker pool).
 	PrivacyConfig = core.Config
-	// PrivacyMiddleware selects and applies the optimal strategy.
+	// PrivacyMiddleware selects and applies the optimal strategy. Its
+	// portfolio evaluation runs on a concurrent engine; use
+	// PublishContext/EvaluateContext to make long publications
+	// cancellable.
 	PrivacyMiddleware = core.Middleware
 	// Selection reports a Publish run.
 	Selection = core.Selection

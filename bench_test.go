@@ -12,6 +12,9 @@ package apisense
 // tables.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -74,14 +77,18 @@ func BenchmarkE5Traffic(b *testing.B) { runTable(b, exp.E5Traffic) }
 func BenchmarkE6Frontier(b *testing.B) { runTable(b, exp.E6Frontier) }
 
 // BenchmarkE7Selection regenerates Table E7 (PRIVAPI optimal selection).
-func BenchmarkE7Selection(b *testing.B) { runTable(b, exp.E7Selection) }
+func BenchmarkE7Selection(b *testing.B) {
+	runTable(b, func(w *exp.Workload) (*exp.Table, error) {
+		return exp.E7Selection(context.Background(), w)
+	})
+}
 
 // BenchmarkE8Platform regenerates Table E8 (platform pipeline over HTTP).
 func BenchmarkE8Platform(b *testing.B) {
 	w := benchWorkload(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.E8Platform(w, []int{5, 10}); err != nil {
+		if _, err := exp.E8Platform(context.Background(), w, []int{5, 10}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,6 +117,32 @@ func BenchmarkE12SecAgg(b *testing.B) {
 		if _, err := exp.E12SecAgg(w, 5, 16); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEvaluateParallel measures the PRIVAPI evaluation engine on the
+// full default portfolio at parallelism 1 (the sequential baseline) and at
+// one worker per CPU; the ratio of the two is the engine's speedup on the
+// publication hot path.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	w := benchWorkload(b)
+	points := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		points = append(points, n)
+	}
+	for _, p := range points {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			mw, err := NewPrivacyMiddleware(PrivacyConfig{Parallelism: p}, w.City.Center)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mw.EvaluateContext(context.Background(), w.Raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

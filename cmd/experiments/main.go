@@ -7,23 +7,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"apisense/internal/exp"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the run: the current experiment is abandoned
+	// at its next cancellation point and no further tables are started.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	users := fs.Int("users", exp.DefaultUsers, "workload users")
 	days := fs.Int("days", exp.DefaultDays, "workload days")
@@ -58,8 +65,8 @@ func run(args []string) error {
 		{"E4", func() (*exp.Table, error) { return exp.E4CrowdedPlaces(w) }},
 		{"E5", func() (*exp.Table, error) { return exp.E5Traffic(w) }},
 		{"E6", func() (*exp.Table, error) { return exp.E6Frontier(w) }},
-		{"E7", func() (*exp.Table, error) { return exp.E7Selection(w) }},
-		{"E8", func() (*exp.Table, error) { return exp.E8Platform(w, []int{10, 25, 50}) }},
+		{"E7", func() (*exp.Table, error) { return exp.E7Selection(ctx, w) }},
+		{"E8", func() (*exp.Table, error) { return exp.E8Platform(ctx, w, []int{10, 25, 50}) }},
 		{"E9", func() (*exp.Table, error) { return exp.E9VirtualSensor(w) }},
 		{"E10", func() (*exp.Table, error) { return exp.E10Incentives(*seed) }},
 		{"E11", func() (*exp.Table, error) { return exp.E11Filters(w) }},
@@ -68,6 +75,9 @@ func run(args []string) error {
 	for _, r := range runners {
 		if !want(r.id) {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		t0 := time.Now()
 		tab, err := r.run()

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"apisense/internal/core"
 	"apisense/internal/geo"
@@ -21,23 +24,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the pipeline context: a long publication is
+	// abandoned at the next trajectory/strategy boundary instead of
+	// running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "privapi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: privapi <protect|publish|analyze> [flags]")
 	}
 	switch args[0] {
 	case "protect":
-		return runProtect(args[1:])
+		return runProtect(ctx, args[1:])
 	case "publish":
-		return runPublish(args[1:])
+		return runPublish(ctx, args[1:])
 	case "analyze":
-		return runAnalyze(args[1:])
+		return runAnalyze(ctx, args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q (want protect, publish or analyze)", args[0])
 	}
@@ -55,12 +63,13 @@ func loadDataset(path string) (*trace.Dataset, geo.Point, error) {
 	return ds, origin, nil
 }
 
-func runProtect(args []string) error {
+func runProtect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("privapi protect", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV dataset")
 	out := fs.String("out", "protected.csv", "output CSV path")
 	spec := fs.String("mechanism", "smoothing:eps=100", "mechanism spec (see lppm.FromSpec)")
 	key := fs.String("pseudonym-key", "", "optional pseudonymisation key")
+	parallelism := fs.Int("parallelism", 0, "worker goroutines (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +84,7 @@ func runProtect(args []string) error {
 	if err != nil {
 		return err
 	}
-	prot, err := lppm.ProtectDataset(m, ds)
+	prot, err := lppm.ProtectDatasetContext(ctx, m, ds, *parallelism)
 	if err != nil {
 		return err
 	}
@@ -106,13 +115,14 @@ func parseObjective(s string) (core.Objective, error) {
 	}
 }
 
-func runPublish(args []string) error {
+func runPublish(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("privapi publish", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV dataset")
 	out := fs.String("out", "release.csv", "output CSV path")
 	objectiveName := fs.String("objective", "crowded-places", "utility objective")
 	floor := fs.Float64("floor", 0.33, "privacy floor (max POI exposure f1)")
 	key := fs.String("pseudonym-key", "release-key", "pseudonymisation key")
+	parallelism := fs.Int("parallelism", 0, "evaluation workers (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,11 +141,12 @@ func runPublish(args []string) error {
 		Objective:      objective,
 		MaxPOIExposure: *floor,
 		PseudonymKey:   []byte(*key),
+		Parallelism:    *parallelism,
 	}, origin)
 	if err != nil {
 		return err
 	}
-	release, sel, err := mw.Publish(ds)
+	release, sel, err := mw.PublishContext(ctx, ds)
 	if err != nil {
 		printSelection(sel)
 		return err
@@ -148,9 +159,10 @@ func runPublish(args []string) error {
 	return nil
 }
 
-func runAnalyze(args []string) error {
+func runAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("privapi analyze", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV dataset")
+	parallelism := fs.Int("parallelism", 0, "evaluation workers (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,11 +173,11 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	mw, err := core.New(core.Config{}, origin)
+	mw, err := core.New(core.Config{Parallelism: *parallelism}, origin)
 	if err != nil {
 		return err
 	}
-	evals, err := mw.Evaluate(ds)
+	evals, err := mw.EvaluateContext(ctx, ds)
 	if err != nil {
 		return err
 	}

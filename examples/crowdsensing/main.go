@@ -14,6 +14,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"apisense"
@@ -40,12 +43,16 @@ schedule.every(3600, function() {
 `
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the pipeline: deployment, collection and the PRIVAPI
+	// publication all honour the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// 1. Start a real Hive HTTP server on a loopback port.
 	hive := apisense.NewHive()
 	listener, err := net.Listen("tcp", "127.0.0.1:0")
@@ -96,7 +103,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
 	spec, recruited, err := hc.Deploy(ctx, apisense.TaskSpec{
 		Name: "network-coverage", Script: taskScript,
 		PeriodSeconds: 120, Sensors: []string{"gps", "network"},
@@ -137,8 +143,9 @@ func run() error {
 	collected := apisense.UploadsToDataset(ups, users)
 	fmt.Println("collected:", collected.Summarize())
 
-	// 6. PRIVAPI releases a privacy-preserving version.
-	release, selection, err := hc.PublishPrivate(collected, apisense.PrivacyConfig{
+	// 6. PRIVAPI releases a privacy-preserving version on the concurrent
+	// evaluation engine; Ctrl-C abandons the publication mid-portfolio.
+	release, selection, err := hc.PublishPrivateContext(ctx, collected, apisense.PrivacyConfig{
 		PseudonymKey: []byte("coverage-release"),
 	})
 	if err != nil {

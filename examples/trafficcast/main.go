@@ -9,20 +9,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"apisense"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C abandons the PRIVAPI publication mid-portfolio.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	raw, city, err := apisense.GenerateMobility(apisense.MobilityConfig{
 		Seed: 23, Users: 25, Days: 10,
 	})
@@ -59,7 +66,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	release, selection, err := mw.Publish(raw)
+	release, selection, err := mw.PublishContext(ctx, raw)
 	if err != nil {
 		return err
 	}

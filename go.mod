@@ -1,0 +1,3 @@
+module apisense
+
+go 1.24

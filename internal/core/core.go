@@ -18,11 +18,36 @@
 //  3. keeps the strategies whose residual POI recall is below the privacy
 //     floor configured by the users/platform owner, picks the one with the
 //     best utility, and releases the pseudonymised protected dataset.
+//
+// # Evaluation engine
+//
+// Publication is the platform's hottest path, so it runs on a concurrent
+// evaluation engine (see engine.go):
+//
+//   - the per-run shared state — reference POIs, attacker extractor,
+//     analysis grid, raw density and the raw-side traffic baseline — is
+//     computed once per run into an evalContext instead of once per
+//     strategy;
+//   - the strategy portfolio is fanned out over a bounded worker pool of
+//     Config.Parallelism goroutines (default one per CPU), each strategy
+//     additionally parallelising its dataset protection across
+//     trajectories; results are fanned back in preserving portfolio order,
+//     and every mechanism derives randomness from the trajectory identity,
+//     so reports are byte-identical for any parallelism;
+//   - Publish releases the winner's evaluated output instead of
+//     protecting the dataset a second time; only the best floor-meeting
+//     protected dataset seen so far is retained (losers are dropped as
+//     outcomes arrive, and Evaluate keeps none), so peak memory is one
+//     retained copy plus one in-flight copy per strategy worker rather
+//     than the whole portfolio at once;
+//   - PublishContext and EvaluateContext accept a context.Context and
+//     abandon the run promptly when it is cancelled; Publish and Evaluate
+//     are background-context wrappers kept for convenience.
 package core
 
 import (
 	"fmt"
-	"time"
+	"runtime"
 
 	"apisense/internal/attack"
 	"apisense/internal/geo"
@@ -67,6 +92,9 @@ func (o Objective) String() string {
 type Config struct {
 	// Strategies are the candidate mechanisms. Leave nil for the default
 	// portfolio (identity is never included: the floor applies to it too).
+	// The evaluation engine calls Protect concurrently, so custom
+	// mechanisms must be safe for concurrent use (see lppm.Mechanism);
+	// all built-in mechanisms are.
 	Strategies []lppm.Mechanism
 	// Objective is the declared utility target (default crowded places).
 	Objective Objective
@@ -88,6 +116,11 @@ type Config struct {
 	// PseudonymKey keys the release pseudonymizer. Leave nil to keep
 	// original user identifiers (useful in evaluations).
 	PseudonymKey []byte
+	// Parallelism bounds the worker pool the evaluation engine uses to
+	// score the strategy portfolio and to protect trajectories. 0 (or
+	// negative) selects runtime.GOMAXPROCS(0); 1 forces a fully
+	// sequential run. Results are byte-identical for any value.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AttackRadius == 0 {
 		c.AttackRadius = 500
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -234,141 +270,3 @@ func (m *Middleware) ReferencePOIs(raw *trace.Dataset) (map[string][]geo.Point, 
 	return out, nil
 }
 
-// Evaluate scores every candidate strategy against the raw dataset.
-func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
-	truth, err := m.ReferencePOIs(raw)
-	if err != nil {
-		return nil, err
-	}
-	attacker, err := poi.NewStayPoints(poi.StayPointConfig{
-		MaxDistance: m.cfg.AttackRadius,
-		MinDuration: m.cfg.POIConfig.MinDuration,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: attacker extractor: %w", err)
-	}
-	recovery, err := attack.NewPOIRecovery(attacker, 0, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: recovery attack: %w", err)
-	}
-
-	box, ok := raw.BBox()
-	if !ok {
-		return nil, fmt.Errorf("core: raw dataset is empty")
-	}
-	grid, err := geo.NewGrid(box.Pad(500), m.cfg.CellSize)
-	if err != nil {
-		return nil, fmt.Errorf("core: analysis grid: %w", err)
-	}
-	rawDensity := metrics.UserDensity(raw, grid)
-
-	evals := make([]Evaluation, 0, len(m.strategies))
-	for _, s := range m.strategies {
-		prot, err := lppm.ProtectDataset(s, raw)
-		if err != nil {
-			return nil, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
-		}
-		ev := Evaluation{
-			Strategy: s.Name(),
-			Privacy:  recovery.Run(truth, prot),
-			Released: prot.Len(),
-		}
-		ev.MeetsFloor = ev.Privacy.F1() <= m.cfg.MaxPOIExposure
-		ev.HotspotOverlap = metrics.TopKOverlap(rawDensity, metrics.UserDensity(prot, grid), m.cfg.TopK)
-		ev.TrafficUtility = m.trafficUtility(raw, prot, grid)
-		ev.Distortion = metrics.SpatialDistortion(raw, prot)
-		ev.Coverage = metrics.Coverage(raw, prot, grid)
-		switch m.cfg.Objective {
-		case ObjectiveTraffic:
-			ev.Utility = ev.TrafficUtility
-		case ObjectiveDistortion:
-			ev.Utility = 1 / (1 + ev.Distortion.Mean/250)
-		default:
-			ev.Utility = ev.HotspotOverlap
-		}
-		evals = append(evals, ev)
-	}
-	return evals, nil
-}
-
-// trafficUtility trains forecasters on the protected and raw data before
-// the last simulated day and compares their error on that raw day. Returns
-// 0 when the dataset spans fewer than two days.
-func (m *Middleware) trafficUtility(raw, prot *trace.Dataset, grid *geo.Grid) float64 {
-	start, end, ok := raw.TimeSpan()
-	if !ok {
-		return 0
-	}
-	endEve := end.Add(-time.Nanosecond) // an end exactly at midnight belongs to the previous day
-	lastDay := time.Date(endEve.Year(), endEve.Month(), endEve.Day(), 0, 0, 0, 0, time.UTC)
-	if !lastDay.After(start) {
-		return 0 // single-day dataset
-	}
-	rawTrain, rawTest := metrics.SplitAtDay(raw, lastDay)
-	protTrain, _ := metrics.SplitAtDay(prot, lastDay)
-	if rawTrain.Len() == 0 || rawTest.Len() == 0 || protTrain.Len() == 0 {
-		return 0
-	}
-	actual := metrics.CountTraffic(rawTest, grid)
-	baseF, err := metrics.NewForecaster(metrics.CountTraffic(rawTrain, grid))
-	if err != nil {
-		return 0
-	}
-	protF, err := metrics.NewForecaster(metrics.CountTraffic(protTrain, grid))
-	if err != nil {
-		return 0
-	}
-	baseMAE := baseF.Evaluate(actual).MAE
-	protMAE := protF.Evaluate(actual).MAE
-	if protMAE == 0 {
-		return 1
-	}
-	u := baseMAE / protMAE
-	if u > 1 {
-		u = 1
-	}
-	return u
-}
-
-// Publish evaluates the portfolio, selects the best strategy meeting the
-// privacy floor, and returns the protected (and, when a pseudonym key is
-// configured, pseudonymised) dataset together with the full selection
-// report. When no strategy meets the floor, it returns ErrNoStrategy and a
-// selection whose Chosen field is empty.
-func (m *Middleware) Publish(raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
-	evals, err := m.Evaluate(raw)
-	if err != nil {
-		return nil, nil, err
-	}
-	sel := &Selection{
-		Objective:   m.cfg.Objective,
-		Floor:       m.cfg.MaxPOIExposure,
-		Evaluations: evals,
-	}
-	bestIdx := -1
-	for i, ev := range evals {
-		if !ev.MeetsFloor {
-			continue
-		}
-		if bestIdx < 0 || ev.Utility > evals[bestIdx].Utility {
-			bestIdx = i
-		}
-	}
-	if bestIdx < 0 {
-		return nil, sel, ErrNoStrategy
-	}
-	sel.Chosen = evals[bestIdx].Strategy
-
-	prot, err := lppm.ProtectDataset(m.strategies[bestIdx], raw)
-	if err != nil {
-		return nil, sel, fmt.Errorf("core: applying %s: %w", sel.Chosen, err)
-	}
-	if len(m.cfg.PseudonymKey) > 0 {
-		p, err := trace.NewPseudonymizer(m.cfg.PseudonymKey)
-		if err != nil {
-			return nil, sel, fmt.Errorf("core: pseudonymizer: %w", err)
-		}
-		prot = p.Apply(prot)
-	}
-	return prot, sel, nil
-}

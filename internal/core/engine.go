@@ -1,0 +1,288 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"apisense/internal/attack"
+	"apisense/internal/geo"
+	"apisense/internal/lppm"
+	"apisense/internal/metrics"
+	"apisense/internal/par"
+	"apisense/internal/poi"
+	"apisense/internal/trace"
+)
+
+// evalContext is the per-run shared state of the evaluation engine: the
+// middleware's global knowledge, computed once per Publish/Evaluate run and
+// then read concurrently by every strategy worker. All fields are immutable
+// after newEvalContext returns.
+type evalContext struct {
+	raw        *trace.Dataset
+	truth      map[string][]geo.Point
+	recovery   *attack.POIRecovery
+	grid       *geo.Grid
+	rawDensity metrics.Density
+	// traffic is the raw-side traffic-forecasting baseline; nil when the
+	// dataset spans fewer than two days (traffic utility is then 0).
+	traffic *trafficBaseline
+}
+
+// trafficBaseline is the strategy-independent half of the traffic-utility
+// metric: the train/test cut, the held-out actual counts and the error of
+// the forecaster trained on raw data.
+type trafficBaseline struct {
+	lastDay time.Time
+	actual  *metrics.TrafficCounts
+	baseMAE float64
+}
+
+// newEvalContext derives the shared analysis state from the raw dataset.
+func (m *Middleware) newEvalContext(ctx context.Context, raw *trace.Dataset) (*evalContext, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	truth, err := m.ReferencePOIs(raw)
+	if err != nil {
+		return nil, err
+	}
+	attacker, err := poi.NewStayPoints(poi.StayPointConfig{
+		MaxDistance: m.cfg.AttackRadius,
+		MinDuration: m.cfg.POIConfig.MinDuration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: attacker extractor: %w", err)
+	}
+	recovery, err := attack.NewPOIRecovery(attacker, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery attack: %w", err)
+	}
+	box, ok := raw.BBox()
+	if !ok {
+		return nil, fmt.Errorf("core: raw dataset is empty")
+	}
+	grid, err := geo.NewGrid(box.Pad(500), m.cfg.CellSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis grid: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ec := &evalContext{
+		raw:        raw,
+		truth:      truth,
+		recovery:   recovery,
+		grid:       grid,
+		rawDensity: metrics.UserDensity(raw, grid),
+	}
+	ec.traffic = newTrafficBaseline(raw, grid)
+	return ec, nil
+}
+
+// newTrafficBaseline computes the raw-side traffic baseline, or nil when
+// the dataset cannot support the train/test split (single-day span, empty
+// halves, or an untrainable forecaster).
+func newTrafficBaseline(raw *trace.Dataset, grid *geo.Grid) *trafficBaseline {
+	start, end, ok := raw.TimeSpan()
+	if !ok {
+		return nil
+	}
+	endEve := end.Add(-time.Nanosecond) // an end exactly at midnight belongs to the previous day
+	lastDay := time.Date(endEve.Year(), endEve.Month(), endEve.Day(), 0, 0, 0, 0, time.UTC)
+	if !lastDay.After(start) {
+		return nil // single-day dataset
+	}
+	rawTrain, rawTest := metrics.SplitAtDay(raw, lastDay)
+	if rawTrain.Len() == 0 || rawTest.Len() == 0 {
+		return nil
+	}
+	actual := metrics.CountTraffic(rawTest, grid)
+	baseF, err := metrics.NewForecaster(metrics.CountTraffic(rawTrain, grid))
+	if err != nil {
+		return nil
+	}
+	return &trafficBaseline{
+		lastDay: lastDay,
+		actual:  actual,
+		baseMAE: baseF.Evaluate(actual).MAE,
+	}
+}
+
+// trafficUtility trains a forecaster on the protected data before the
+// baseline's train/test cut and compares its error on the held-out raw day.
+// Returns 0 when the baseline is unavailable.
+func (ec *evalContext) trafficUtility(prot *trace.Dataset) float64 {
+	if ec.traffic == nil {
+		return 0
+	}
+	protTrain, _ := metrics.SplitAtDay(prot, ec.traffic.lastDay)
+	if protTrain.Len() == 0 {
+		return 0
+	}
+	protF, err := metrics.NewForecaster(metrics.CountTraffic(protTrain, ec.grid))
+	if err != nil {
+		return 0
+	}
+	protMAE := protF.Evaluate(ec.traffic.actual).MAE
+	if protMAE == 0 {
+		return 1
+	}
+	u := ec.traffic.baseMAE / protMAE
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// winner tracks the best floor-meeting outcome seen so far, retaining only
+// that outcome's protected dataset: Publish releases the winner without
+// running its mechanism a second time, while the losers' datasets are
+// dropped as soon as a better candidate arrives, bounding peak memory at
+// one retained copy plus the in-flight copy each strategy worker holds
+// while evaluating. The replacement rule —
+// strictly higher utility, or equal utility at a lower portfolio index —
+// selects the same strategy as an in-order scan regardless of the order in
+// which concurrent workers deliver outcomes.
+type winner struct {
+	mu   sync.Mutex
+	idx  int // portfolio index, -1 when no strategy meets the floor
+	util float64
+	prot *trace.Dataset
+}
+
+func (w *winner) offer(i int, ev Evaluation, prot *trace.Dataset) {
+	if !ev.MeetsFloor {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.idx < 0 || ev.Utility > w.util || (ev.Utility == w.util && i < w.idx) {
+		w.idx, w.util, w.prot = i, ev.Utility, prot
+	}
+}
+
+// evaluateStrategy scores one strategy against the shared context,
+// protecting the dataset on up to parallelism trajectory workers.
+func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lppm.Mechanism, parallelism int) (Evaluation, *trace.Dataset, error) {
+	prot, err := lppm.ProtectDatasetContext(ctx, s, ec.raw, parallelism)
+	if err != nil {
+		return Evaluation{}, nil, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Evaluation{}, nil, err
+	}
+	ev := Evaluation{
+		Strategy: s.Name(),
+		Privacy:  ec.recovery.Run(ec.truth, prot),
+		Released: prot.Len(),
+	}
+	ev.MeetsFloor = ev.Privacy.F1() <= m.cfg.MaxPOIExposure
+	ev.HotspotOverlap = metrics.TopKOverlap(ec.rawDensity, metrics.UserDensity(prot, ec.grid), m.cfg.TopK)
+	ev.TrafficUtility = ec.trafficUtility(prot)
+	ev.Distortion = metrics.SpatialDistortion(ec.raw, prot)
+	ev.Coverage = metrics.Coverage(ec.raw, prot, ec.grid)
+	switch m.cfg.Objective {
+	case ObjectiveTraffic:
+		ev.Utility = ev.TrafficUtility
+	case ObjectiveDistortion:
+		ev.Utility = 1 / (1 + ev.Distortion.Mean/250)
+	default:
+		ev.Utility = ev.HotspotOverlap
+	}
+	return ev, prot, nil
+}
+
+// evaluateAll fans the portfolio out over the worker pool and fans the
+// scorecards back in, preserving portfolio order. The Parallelism budget is
+// split between strategy workers and per-strategy trajectory workers: with
+// P cores and S strategies, min(P, S) strategies run concurrently and each
+// protects trajectories on P/min(P,S) workers (Parallelism 1 stays fully
+// sequential; a single-strategy portfolio gives the whole budget to
+// trajectory workers).
+//
+// When track is non-nil every outcome is offered to it, retaining the best
+// floor-meeting protected dataset for Publish; a nil track (Evaluate)
+// keeps no protected data at all.
+func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track *winner) ([]Evaluation, error) {
+	ec, err := m.newEvalContext(ctx, raw)
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.strategies)
+	workers := m.cfg.Parallelism
+	if workers > n {
+		workers = n
+	}
+	inner := m.cfg.Parallelism / workers // workers >= 1: New requires a non-empty portfolio
+	evals := make([]Evaluation, n)
+	err = par.For(ctx, n, workers, func(ctx context.Context, i int) error {
+		ev, prot, err := m.evaluateStrategy(ctx, ec, m.strategies[i], inner)
+		if err != nil {
+			return err
+		}
+		if track != nil {
+			track.offer(i, ev, prot)
+		}
+		evals[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return evals, nil
+}
+
+// EvaluateContext scores every candidate strategy against the raw dataset
+// on the concurrent evaluation engine. The report is byte-identical for any
+// Config.Parallelism; evaluations appear in portfolio order. The run is
+// abandoned promptly when ctx is cancelled.
+func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([]Evaluation, error) {
+	return m.evaluateAll(ctx, raw, nil)
+}
+
+// Evaluate scores every candidate strategy against the raw dataset. It is
+// EvaluateContext with a background context.
+func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
+	return m.EvaluateContext(context.Background(), raw)
+}
+
+// PublishContext evaluates the portfolio, selects the best strategy meeting
+// the privacy floor, and returns the protected (and, when a pseudonym key
+// is configured, pseudonymised) dataset together with the full selection
+// report. The winner's dataset is the one produced during evaluation — the
+// mechanism is not run a second time. When no strategy meets the floor, it
+// returns ErrNoStrategy and a selection whose Chosen field is empty. The
+// run is abandoned promptly when ctx is cancelled.
+func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
+	track := &winner{idx: -1}
+	evals, err := m.evaluateAll(ctx, raw, track)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := &Selection{
+		Objective:   m.cfg.Objective,
+		Floor:       m.cfg.MaxPOIExposure,
+		Evaluations: evals,
+	}
+	if track.idx < 0 {
+		return nil, sel, ErrNoStrategy
+	}
+	sel.Chosen = evals[track.idx].Strategy
+
+	prot := track.prot
+	if len(m.cfg.PseudonymKey) > 0 {
+		p, err := trace.NewPseudonymizer(m.cfg.PseudonymKey)
+		if err != nil {
+			return nil, sel, fmt.Errorf("core: pseudonymizer: %w", err)
+		}
+		prot = p.Apply(prot)
+	}
+	return prot, sel, nil
+}
+
+// Publish is PublishContext with a background context.
+func (m *Middleware) Publish(raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
+	return m.PublishContext(context.Background(), raw)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apisense/internal/lppm"
+	"apisense/internal/trace"
+)
+
+// TestEvaluateParallelismDeterminism: the engine's report must be
+// byte-identical whether the portfolio runs sequentially or on a pool.
+func TestEvaluateParallelismDeterminism(t *testing.T) {
+	ds := fixture(t)
+	run := func(parallelism int) *Selection {
+		m, err := New(Config{Parallelism: parallelism, PseudonymKey: []byte("det")}, lyon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sel, err := m.PublishContext(context.Background(), ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("selection differs between Parallelism 1 and 8:\nseq: %+v\npar: %+v", seq, par)
+	}
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqJSON) != string(parJSON) {
+		t.Errorf("serialized selections not byte-identical:\nseq: %s\npar: %s", seqJSON, parJSON)
+	}
+}
+
+// TestEvaluateContextMatchesEvaluate: the wrapper and the context entry
+// point agree.
+func TestEvaluateContextMatchesEvaluate(t *testing.T) {
+	ds := fixture(t)
+	m, err := New(Config{Parallelism: 4}, lyon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EvaluateContext(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Evaluate and EvaluateContext disagree")
+	}
+}
+
+// TestPublishContextCancelled: a cancelled context aborts the publication
+// promptly with context.Canceled instead of running the portfolio.
+func TestPublishContextCancelled(t *testing.T) {
+	ds := fixture(t)
+	for _, parallelism := range []int{1, 4} {
+		m, err := New(Config{Parallelism: parallelism}, lyon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		_, _, err = m.PublishContext(ctx, ds)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", parallelism, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("parallelism %d: cancelled publish took %s, want prompt return", parallelism, elapsed)
+		}
+	}
+}
+
+// TestEvaluateContextDeadline: cancellation mid-run (not just pre-run) also
+// surfaces the context error.
+func TestEvaluateContextDeadline(t *testing.T) {
+	ds := fixture(t)
+	m, err := New(Config{Parallelism: 2}, lyon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	if _, err := m.EvaluateContext(ctx, ds); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// countingMechanism wraps a mechanism and counts Protect calls; used to
+// prove Publish releases the evaluated dataset instead of protecting twice.
+type countingMechanism struct {
+	inner lppm.Mechanism
+	calls atomic.Int64
+}
+
+func (c *countingMechanism) Name() string { return c.inner.Name() }
+
+func (c *countingMechanism) Protect(tr *trace.Trajectory) (*trace.Trajectory, error) {
+	c.calls.Add(1)
+	return c.inner.Protect(tr)
+}
+
+// TestPublishReusesEvaluatedWinner: the winner's mechanism must run exactly
+// once per trajectory across the whole Publish (no second ProtectDataset).
+func TestPublishReusesEvaluatedWinner(t *testing.T) {
+	ds := fixture(t)
+	for _, parallelism := range []int{1, 4} {
+		sm, err := lppm.NewSpeedSmoothing(100, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := &countingMechanism{inner: sm}
+		m, err := New(Config{
+			Strategies:  []lppm.Mechanism{counter},
+			Parallelism: parallelism,
+		}, lyon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Publish(ds); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := counter.calls.Load(), int64(ds.Len()); got != want {
+			t.Errorf("parallelism %d: winner protected %d trajectories, want %d (one pass)",
+				parallelism, got, want)
+		}
+	}
+}

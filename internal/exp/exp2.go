@@ -65,8 +65,9 @@ func E6Frontier(w *Workload) (*Table, error) {
 }
 
 // E7Selection runs experiment E7: PRIVAPI's utility-driven optimal strategy
-// selection across objectives and privacy floors.
-func E7Selection(w *Workload) (*Table, error) {
+// selection across objectives and privacy floors. The sweep runs on the
+// concurrent evaluation engine and is abandoned when ctx is cancelled.
+func E7Selection(ctx context.Context, w *Workload) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Title:   "PRIVAPI optimal strategy selection (per objective and privacy floor)",
@@ -81,7 +82,7 @@ func E7Selection(w *Workload) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, sel, err := mw.Publish(w.Raw)
+			_, sel, err := mw.PublishContext(ctx, w.Raw)
 			if err != nil && !errors.Is(err, core.ErrNoStrategy) {
 				return nil, err
 			}
@@ -113,8 +114,9 @@ sensor.gps.onLocationChanged(function(loc) {
 
 // E8Platform runs experiment E8: end-to-end platform pipeline over HTTP
 // (Fig. 1): register devices, deploy a script task, execute, upload,
-// collect. Reports deployment latency and ingestion throughput.
-func E8Platform(w *Workload, fleetSizes []int) (*Table, error) {
+// collect. Reports deployment latency and ingestion throughput. The ctx
+// governs the HTTP interactions and cancels the sweep between fleets.
+func E8Platform(ctx context.Context, w *Workload, fleetSizes []int) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Platform pipeline: deploy -> execute -> upload -> collect (HTTP)",
@@ -122,6 +124,9 @@ func E8Platform(w *Workload, fleetSizes []int) (*Table, error) {
 	}
 	byUser := w.Raw.ByUser()
 	for _, n := range fleetSizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n > len(w.City.Residents) {
 			n = len(w.City.Residents)
 		}
@@ -132,7 +137,6 @@ func E8Platform(w *Workload, fleetSizes []int) (*Table, error) {
 			srv.Close()
 			return nil, err
 		}
-		ctx := context.Background()
 
 		var devices []*device.Device
 		for _, res := range w.City.Residents[:n] {

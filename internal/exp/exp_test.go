@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -186,7 +187,7 @@ func TestE6FrontierShape(t *testing.T) {
 }
 
 func TestE7SelectionShape(t *testing.T) {
-	tab, err := E7Selection(workload(t))
+	tab, err := E7Selection(context.Background(), workload(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestE7SelectionShape(t *testing.T) {
 }
 
 func TestE8PlatformShape(t *testing.T) {
-	tab, err := E8Platform(workload(t), []int{3, 6})
+	tab, err := E8Platform(context.Background(), workload(t), []int{3, 6})
 	if err != nil {
 		t.Fatal(err)
 	}

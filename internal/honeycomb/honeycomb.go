@@ -126,6 +126,12 @@ func UploadsToDataset(ups []transport.Upload, deviceUser map[string]string) *tra
 // handling privacy-preserving publication of mobility data ... that can be
 // easily integrated on-top of APISENSE".
 func (h *Honeycomb) PublishPrivate(raw *trace.Dataset, cfg core.Config) (*trace.Dataset, *core.Selection, error) {
+	return h.PublishPrivateContext(context.Background(), raw, cfg)
+}
+
+// PublishPrivateContext is PublishPrivate with a caller-supplied context:
+// long publications are abandoned promptly when ctx is cancelled.
+func (h *Honeycomb) PublishPrivateContext(ctx context.Context, raw *trace.Dataset, cfg core.Config) (*trace.Dataset, *core.Selection, error) {
 	origin := geo.Point{Lat: 45.7640, Lon: 4.8357}
 	if box, ok := raw.BBox(); ok {
 		origin = box.Center()
@@ -134,7 +140,7 @@ func (h *Honeycomb) PublishPrivate(raw *trace.Dataset, cfg core.Config) (*trace.
 	if err != nil {
 		return nil, nil, fmt.Errorf("honeycomb %s: privapi: %w", h.name, err)
 	}
-	return mw.Publish(raw)
+	return mw.PublishContext(ctx, raw)
 }
 
 // Store accumulates the uploads a Honeycomb collected, per task.

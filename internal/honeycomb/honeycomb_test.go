@@ -2,6 +2,7 @@ package honeycomb
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -192,6 +193,22 @@ func TestPublishPrivateIntegration(t *testing.T) {
 	// Publishing an empty dataset fails cleanly.
 	if _, _, err := hc.PublishPrivate(trace.NewDataset(), core.Config{}); err == nil {
 		t.Error("empty dataset should fail")
+	}
+}
+
+func TestPublishPrivateContextCancelled(t *testing.T) {
+	ds, _, err := mobgen.Generate(mobgen.Config{Seed: 33, Users: 6, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := New("lab", "http://unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := hc.PublishPrivateContext(ctx, ds, core.Config{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -14,16 +14,21 @@
 package lppm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand/v2"
+	"runtime"
 
+	"apisense/internal/par"
 	"apisense/internal/trace"
 )
 
 // Mechanism transforms a single trajectory into its protected counterpart.
-// Implementations must not mutate the input. A returned trajectory with zero
-// records means the trajectory is suppressed from the release.
+// Implementations must not mutate the input and must be safe for concurrent
+// Protect calls (all built-in mechanisms are immutable after construction).
+// A returned trajectory with zero records means the trajectory is suppressed
+// from the release.
 type Mechanism interface {
 	// Name returns a short stable identifier (used in reports and specs).
 	Name() string
@@ -32,19 +37,51 @@ type Mechanism interface {
 }
 
 // ProtectDataset applies m to every trajectory of d and returns the
-// protected dataset. Suppressed (empty) trajectories are omitted.
+// protected dataset. Suppressed (empty) trajectories are omitted. It is
+// equivalent to ProtectDatasetContext with a background context and one
+// worker per CPU.
 func ProtectDataset(m Mechanism, d *trace.Dataset) (*trace.Dataset, error) {
-	out := trace.NewDataset()
-	for i, t := range d.Trajectories {
+	return ProtectDatasetContext(context.Background(), m, d, runtime.GOMAXPROCS(0))
+}
+
+// ProtectDatasetContext applies m to every trajectory of d on up to
+// parallelism worker goroutines and returns the protected dataset.
+// Trajectories are embarrassingly parallel: every mechanism derives its
+// random stream from the mechanism seed and the trajectory identity (see
+// trajectoryRNG), so the output is byte-identical for any parallelism and
+// trajectory order is preserved. Suppressed (empty) trajectories are
+// omitted. parallelism <= 0 selects runtime.GOMAXPROCS(0). The context is
+// checked between trajectories; on cancellation the first ctx error is
+// returned.
+func ProtectDatasetContext(ctx context.Context, m Mechanism, d *trace.Dataset, parallelism int) (*trace.Dataset, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	n := len(d.Trajectories)
+	protected := make([]*trace.Trajectory, n)
+	err := par.For(ctx, n, parallelism, func(_ context.Context, i int) error {
+		t := d.Trajectories[i]
 		p, err := m.Protect(t)
 		if err != nil {
-			return nil, fmt.Errorf("lppm: %s on trajectory %d (user %s): %w", m.Name(), i, t.User, err)
+			return protectErr(m, i, t, err)
 		}
+		protected[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := trace.NewDataset()
+	for _, p := range protected {
 		if p.Len() > 0 {
 			out.Add(p)
 		}
 	}
 	return out, nil
+}
+
+func protectErr(m Mechanism, i int, t *trace.Trajectory, err error) error {
+	return fmt.Errorf("lppm: %s on trajectory %d (user %s): %w", m.Name(), i, t.User, err)
 }
 
 // Identity is the no-op mechanism: it releases the data as-is. It serves as

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"apisense/internal/geo"
@@ -74,13 +75,26 @@ func NewForecaster(tc *TrafficCounts) (*Forecaster, error) {
 	}
 	f := &Forecaster{mean: make(map[CellHour]float64, len(tc.Visits)), days: len(tc.Days)}
 	for ch, byDay := range tc.Visits {
-		var sum float64
-		for _, v := range byDay {
-			sum += v
-		}
-		f.mean[ch] = sum / float64(len(tc.Days))
+		f.mean[ch] = sumByDay(byDay) / float64(len(tc.Days))
 	}
 	return f, nil
+}
+
+// sumByDay adds per-day counts in day order: float addition is not
+// associative, so summing in map iteration order would make the forecaster
+// differ in the last bits from run to run, breaking the engine's guarantee
+// of byte-identical reports.
+func sumByDay(byDay map[string]float64) float64 {
+	days := make([]string, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Strings(days)
+	var sum float64
+	for _, d := range days {
+		sum += byDay[d]
+	}
+	return sum
 }
 
 // Predict returns the expected visit count for a cell-hour.
@@ -109,31 +123,41 @@ func (f *Forecaster) Evaluate(actual *TrafficCounts) ForecastError {
 	// Average actual per cell-hour across the test days.
 	act := make(map[CellHour]float64, len(actual.Visits))
 	for ch, byDay := range actual.Visits {
-		var sum float64
-		for _, v := range byDay {
-			sum += v
-		}
-		act[ch] = sum / float64(len(actual.Days))
+		act[ch] = sumByDay(byDay) / float64(len(actual.Days))
 	}
-	evaluated := make(map[CellHour]bool)
-	var absSum, sqSum float64
-	var n int
-	score := func(ch CellHour) {
-		if evaluated[ch] {
-			return
+	// Score the union of active cell-hours in a stable order (see
+	// sumByDay for why accumulation order matters).
+	evaluated := make(map[CellHour]bool, len(act)+len(f.mean))
+	chs := make([]CellHour, 0, len(act)+len(f.mean))
+	collect := func(ch CellHour) {
+		if !evaluated[ch] {
+			evaluated[ch] = true
+			chs = append(chs, ch)
 		}
-		evaluated[ch] = true
+	}
+	for ch := range act {
+		collect(ch)
+	}
+	for ch := range f.mean {
+		collect(ch)
+	}
+	sort.Slice(chs, func(i, j int) bool {
+		a, b := chs[i], chs[j]
+		if a.Cell.Row != b.Cell.Row {
+			return a.Cell.Row < b.Cell.Row
+		}
+		if a.Cell.Col != b.Cell.Col {
+			return a.Cell.Col < b.Cell.Col
+		}
+		return a.Hour < b.Hour
+	})
+	var absSum, sqSum float64
+	for _, ch := range chs {
 		diff := f.Predict(ch) - act[ch]
 		absSum += math.Abs(diff)
 		sqSum += diff * diff
-		n++
 	}
-	for ch := range act {
-		score(ch)
-	}
-	for ch := range f.mean {
-		score(ch)
-	}
+	n := len(chs)
 	if n == 0 {
 		return ForecastError{}
 	}

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 4, 100} {
+		const n = 37
+		var done [n]atomic.Bool
+		err := For(context.Background(), n, workers, func(_ context.Context, i int) error {
+			if done[i].Swap(true) {
+				t.Errorf("workers=%d: item %d ran twice", workers, i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range done {
+			if !done[i].Load() {
+				t.Errorf("workers=%d: item %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	if err := For(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := For(context.Background(), 100, workers, func(_ context.Context, i int) error {
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := For(ctx, 100, workers, func(_ context.Context, i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got > int64(workers) {
+			t.Errorf("workers=%d: %d items ran after pre-cancel", workers, got)
+		}
+	}
+}
+
+func TestForBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := For(context.Background(), 50, workers, func(_ context.Context, i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", peak.Load(), workers)
+	}
+}
