@@ -33,6 +33,7 @@ package apisense
 
 import (
 	"context"
+	"time"
 
 	"apisense/internal/attack"
 	"apisense/internal/core"
@@ -220,6 +221,42 @@ var ErrNoStrategy = core.ErrNoStrategy
 func NewPrivacyMiddleware(cfg PrivacyConfig, origin Point) (*PrivacyMiddleware, error) {
 	return core.New(cfg, origin)
 }
+
+// ---- sharded publication ----
+
+// Sharded-publication types. Very large datasets are partitioned by a
+// ShardPolicy, each shard runs the strategy-selection engine independently
+// (sharing the global PrivacyConfig.Parallelism budget), and the per-shard
+// winners are merged into one release; see
+// PrivacyMiddleware.PublishShardedContext.
+type (
+	// ShardPolicy assigns every trajectory of a dataset to a shard.
+	ShardPolicy = core.ShardBy
+	// Shard is one partition of a dataset.
+	Shard = core.Shard
+	// ShardedSelection reports a sharded Publish run: per-shard outcomes
+	// plus worst-shard privacy and size-weighted utility aggregates.
+	ShardedSelection = core.ShardedSelection
+	// ShardOutcome is one shard's entry in a ShardedSelection.
+	ShardOutcome = core.ShardOutcome
+)
+
+// ShardByCell partitions by region grid cell (cellMeters per side).
+func ShardByCell(cellMeters float64) (ShardPolicy, error) { return core.NewShardByCell(cellMeters) }
+
+// ShardByWindow partitions by fixed UTC time window.
+func ShardByWindow(window time.Duration) (ShardPolicy, error) { return core.NewShardByWindow(window) }
+
+// ShardByUser partitions by stable user hash into the given bucket count.
+func ShardByUser(buckets int) (ShardPolicy, error) { return core.NewShardByUser(buckets) }
+
+// ShardPolicyFromSpec parses a textual shard policy spec such as
+// "cell:size=2000", "window:dur=24h" or "user:buckets=8".
+func ShardPolicyFromSpec(spec string) (ShardPolicy, error) { return core.ShardPolicyFromSpec(spec) }
+
+// PartitionDataset splits a dataset into shards according to a policy,
+// in ascending shard-key order.
+func PartitionDataset(d *Dataset, by ShardPolicy) ([]Shard, error) { return core.Partition(d, by) }
 
 // ---- utility metrics ----
 

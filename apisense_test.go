@@ -65,6 +65,40 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeShardedPublish drives the sharded publication pipeline through
+// the public facade, the way a scaled deployment would.
+func TestFacadeShardedPublish(t *testing.T) {
+	ds, city, err := GenerateMobility(MobilityConfig{Seed: 6, Users: 8, Days: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := NewPrivacyMiddleware(PrivacyConfig{PseudonymKey: []byte("release")}, city.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := ShardPolicyFromSpec("user:buckets=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := PartitionDataset(ds, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) < 2 {
+		t.Fatalf("%d shards, want >= 2", len(shards))
+	}
+	release, sel, err := mw.PublishSharded(ds, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if release.Len() == 0 || sel.Released != release.Len() {
+		t.Fatalf("release %d trajectories, report %d", release.Len(), sel.Released)
+	}
+	if sel.WorstExposure > sel.Floor {
+		t.Errorf("worst shard exposure %.3f above floor %.3f", sel.WorstExposure, sel.Floor)
+	}
+}
+
 func TestFacadeMechanisms(t *testing.T) {
 	m, err := MechanismFromSpec("smoothing:eps=100")
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"apisense/internal/device"
 	"apisense/internal/exp"
 	"apisense/internal/lppm"
+	"apisense/internal/mobgen"
 	"apisense/internal/poi"
 	"apisense/internal/script"
 	"apisense/internal/secagg"
@@ -143,6 +144,47 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPublishSharded measures the sharded publication pipeline against
+// the monolithic engine across dataset sizes. Every shard reuses the same
+// bounded worker pool (the global Parallelism budget is divided between
+// shards in flight), and the per-shard analysis state is much smaller than
+// the monolithic one, so sharded latency grows sub-linearly with dataset
+// size while monolithic latency does not. CI runs this at -benchtime=1x as
+// a smoke test; track the ratios locally with cmd/benchjson.
+func BenchmarkPublishSharded(b *testing.B) {
+	const days = 6
+	for _, users := range []int{8, 16, 32} {
+		ds, city, err := mobgen.Generate(mobgen.Config{Seed: 101, Users: users, Days: days})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mw, err := NewPrivacyMiddleware(PrivacyConfig{}, city.Center)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("users=%d/monolithic", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mw.PublishContext(context.Background(), ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, shards := range []int{4} {
+			policy, err := ShardByWindow(days * 24 / time.Duration(shards) * time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("users=%d/shards=%d", users, shards), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := mw.PublishShardedContext(context.Background(), ds, policy); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document for benchmark tracking. CI uploads the JSON as a workflow
+// artifact on every run; the checked-in BENCH_baseline.json is refreshed
+// locally (the 1-core CI runner cannot show parallel speedups) with:
+//
+//	go test -bench 'BenchmarkEvaluateParallel|BenchmarkPublishSharded' \
+//	    -benchtime=2x -run '^$' . | go run ./cmd/benchjson -update BENCH_baseline.json
+//
+// With -baseline it additionally prints a delta report against a previous
+// JSON document to stderr. Deltas are informational and never fail the
+// run: CI and developer machines differ too much for a hard threshold, so
+// the artifact trail — not an exit code — is the regression signal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Document is the tracked benchmark report.
+type Document struct {
+	Note       string   `json:"note"`
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   	 123	 456789 ns/op [...]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parse extracts benchmark results from go test -bench output.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		out = append(out, Result{Name: m[1], Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: read input: %v", err)
+	}
+	return out, nil
+}
+
+// delta renders a benchstat-style comparison of cur against base to w.
+func delta(w io.Writer, base, cur Document) {
+	old := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, b := range cur.Benchmarks {
+		prev, ok := old[b.Name]
+		if !ok || prev.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", b.Name, "-", b.NsPerOp, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%\n",
+			b.Name, prev.NsPerOp, b.NsPerOp, (b.NsPerOp/prev.NsPerOp-1)*100)
+	}
+}
+
+func run(in io.Reader, out, diag io.Writer, baselinePath, updatePath string) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
+	}
+	doc := Document{
+		Note:       "tracked benchmarks; refresh with: go test -bench 'BenchmarkEvaluateParallel|BenchmarkPublishSharded' -benchtime=2x -run '^$' . | go run ./cmd/benchjson -update BENCH_baseline.json",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := out.Write(data); err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("benchjson: read baseline: %v", err)
+		}
+		var base Document
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("benchjson: parse baseline %s: %v", baselinePath, err)
+		}
+		delta(diag, base, doc)
+	}
+	if updatePath != "" {
+		if err := os.WriteFile(updatePath, data, 0o644); err != nil {
+			return fmt.Errorf("benchjson: write %s: %v", updatePath, err)
+		}
+		fmt.Fprintf(diag, "wrote %s (%d benchmarks)\n", updatePath, len(results))
+	}
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "JSON baseline to diff against (report goes to stderr)")
+	update := flag.String("update", "", "path to (re)write as the new baseline")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *baseline, *update); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: apisense
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEvaluateParallel/parallelism=1-8         	       2	 500000000 ns/op
+BenchmarkEvaluateParallel/parallelism=8-8         	       2	 100000000 ns/op
+BenchmarkPublishSharded/users=8/monolithic-8      	       2	 275051574 ns/op
+BenchmarkPublishSharded/users=8/shards=4-8        	       2	 180964270 ns/op
+PASS
+ok  	apisense	9.453s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkEvaluateParallel/parallelism=1-8" ||
+		first.Iterations != 2 || first.NsPerOp != 5e8 {
+		t.Errorf("first result = %+v", first)
+	}
+}
+
+func TestRunRoundTripAndDelta(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_baseline.json")
+
+	// First run: write the baseline.
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, &diag, "", baseline); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 4 || doc.CPUs <= 0 {
+		t.Errorf("document = %+v", doc)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// Second run: diff against the baseline (identical input -> +0.0%).
+	out.Reset()
+	diag.Reset()
+	if err := run(strings.NewReader(sample), &out, &diag, baseline, ""); err != nil {
+		t.Fatal(err)
+	}
+	report := diag.String()
+	if !strings.Contains(report, "+0.0%") || !strings.Contains(report, "BenchmarkPublishSharded/users=8/shards=4-8") {
+		t.Errorf("delta report missing expected rows:\n%s", report)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &out, &diag, "", ""); err == nil {
+		t.Error("empty input should fail")
+	}
+}

@@ -1,5 +1,6 @@
-// Command experiments regenerates every table of EXPERIMENTS.md (E1-E12):
-// the paper's claims C1-C3 plus the platform behaviours of §2.
+// Command experiments regenerates every table of EXPERIMENTS.md (E1-E13):
+// the paper's claims C1-C3, the platform behaviours of §2, and the
+// monolithic-vs-sharded publication comparison.
 //
 // Usage:
 //
@@ -71,6 +72,7 @@ func run(ctx context.Context, args []string) error {
 		{"E10", func() (*exp.Table, error) { return exp.E10Incentives(*seed) }},
 		{"E11", func() (*exp.Table, error) { return exp.E11Filters(w) }},
 		{"E12", func() (*exp.Table, error) { return exp.E12SecAgg(w, 10, 32) }},
+		{"E13", func() (*exp.Table, error) { return exp.E13Sharding(ctx, w) }},
 	}
 	for _, r := range runners {
 		if !want(r.id) {

@@ -6,6 +6,8 @@
 //
 //	privapi protect -in traces.csv -out protected.csv -mechanism smoothing:eps=100
 //	privapi publish -in traces.csv -out release.csv -objective crowded-places -floor 0.33
+//	privapi publish -in traces.csv -out release.csv -shard-by window -shards 7
+//	privapi publish -in traces.csv -out release.csv -shard-by cell:size=1500
 //	privapi analyze -in traces.csv
 package main
 
@@ -13,9 +15,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"apisense/internal/core"
 	"apisense/internal/geo"
@@ -115,6 +120,44 @@ func parseObjective(s string) (core.Objective, error) {
 	}
 }
 
+// shardPolicy resolves the -shard-by/-shards flags into a core.ShardBy.
+// by may be a bare policy name ("cell", "window", "user") or a full spec
+// ("cell:size=1500"); with a bare name and shards > 0 the parameters are
+// derived from the dataset so that roughly that many shards result.
+func shardPolicy(ds *trace.Dataset, by string, shards int) (core.ShardBy, error) {
+	if strings.Contains(by, ":") || shards <= 0 {
+		return core.ShardPolicyFromSpec(by)
+	}
+	switch by {
+	case "cell":
+		box, ok := ds.BBox()
+		if !ok {
+			return nil, fmt.Errorf("cannot derive shard cell size from an empty dataset")
+		}
+		width := geo.Distance(geo.Point{Lat: box.MinLat, Lon: box.MinLon}, geo.Point{Lat: box.MinLat, Lon: box.MaxLon})
+		height := geo.Distance(geo.Point{Lat: box.MinLat, Lon: box.MinLon}, geo.Point{Lat: box.MaxLat, Lon: box.MinLon})
+		size := math.Sqrt(width * height / float64(shards))
+		if size < 1 {
+			size = 1
+		}
+		return core.NewShardByCell(size)
+	case "window":
+		start, end, ok := ds.TimeSpan()
+		if !ok {
+			return nil, fmt.Errorf("cannot derive shard window from an empty dataset")
+		}
+		window := end.Sub(start) / time.Duration(shards)
+		if window < time.Hour {
+			window = time.Hour
+		}
+		return core.NewShardByWindow(window)
+	case "user":
+		return core.NewShardByUser(shards)
+	default:
+		return nil, fmt.Errorf("unknown shard policy %q (want cell, window or user)", by)
+	}
+}
+
 func runPublish(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("privapi publish", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV dataset")
@@ -123,6 +166,8 @@ func runPublish(ctx context.Context, args []string) error {
 	floor := fs.Float64("floor", 0.33, "privacy floor (max POI exposure f1)")
 	key := fs.String("pseudonym-key", "release-key", "pseudonymisation key")
 	parallelism := fs.Int("parallelism", 0, "evaluation workers (0 = one per CPU)")
+	shardBy := fs.String("shard-by", "", "shard policy: cell, window, user, or a spec like cell:size=1500 (empty = monolithic)")
+	shards := fs.Int("shards", 0, "target shard count for a bare -shard-by policy (0 = policy defaults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +191,31 @@ func runPublish(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+
+	if *shardBy != "" {
+		if strings.HasPrefix(*shardBy, "window") {
+			// CSV loading merges each user's records into one long
+			// trajectory; window sharding keys on the first record, so
+			// split back into calendar days first (the paper's trajectory
+			// unit) or every trajectory lands in the first window.
+			ds = ds.SplitDays(time.UTC)
+		}
+		policy, err := shardPolicy(ds, *shardBy, *shards)
+		if err != nil {
+			return err
+		}
+		release, sel, err := mw.PublishShardedContext(ctx, ds, policy)
+		printShardedSelection(sel)
+		if err != nil {
+			return err
+		}
+		if err := trace.SaveCSVFile(*out, release); err != nil {
+			return err
+		}
+		fmt.Printf("published %s -> %s across %d shards (%s)\n", *in, *out, len(sel.Shards), release.Summarize())
+		return nil
+	}
+
 	release, sel, err := mw.PublishContext(ctx, ds)
 	if err != nil {
 		printSelection(sel)
@@ -210,4 +280,22 @@ func printSelection(sel *core.Selection) {
 		fmt.Printf(" %s %-28s exposure=%.3f utility=%.3f released=%d\n",
 			marker, ev.Strategy, ev.Privacy.F1(), ev.Utility, ev.Released)
 	}
+}
+
+func printShardedSelection(sel *core.ShardedSelection) {
+	if sel == nil {
+		return
+	}
+	fmt.Printf("objective=%s floor=%.2f policy=%s shards=%d\n",
+		sel.Objective, sel.Floor, sel.Policy, len(sel.Shards))
+	for _, sh := range sel.Shards {
+		chosen := sh.Chosen
+		if chosen == "" {
+			chosen = "(withheld: none meets floor)"
+		}
+		fmt.Printf("  %-32s traj=%-5d %-28s exposure=%.3f utility=%.3f\n",
+			sh.Key, sh.Trajectories, chosen, sh.Exposure, sh.Utility)
+	}
+	fmt.Printf("  worst-shard exposure=%.3f (%s) weighted-utility=%.3f released=%d withheld=%d\n",
+		sel.WorstExposure, sel.WorstShard, sel.Utility, sel.Released, sel.Withheld)
 }

@@ -43,6 +43,18 @@
 //   - PublishContext and EvaluateContext accept a context.Context and
 //     abandon the run promptly when it is cancelled; Publish and Evaluate
 //     are background-context wrappers kept for convenience.
+//
+// # Sharded publication
+//
+// Very large datasets are published in shards (see shard.go): a ShardBy
+// policy partitions the dataset by region grid-cell, time window or user
+// bucket; PublishShardedContext runs the selection engine on every shard —
+// sharing the global Parallelism budget — and merges the per-shard winners
+// into one release. Privacy composes conservatively (the release's
+// guarantee is the worst shard's) while utility is the record-weighted
+// mean; shards where no strategy meets the floor are withheld instead of
+// failing the whole release. Reports and releases stay byte-identical for
+// any Parallelism.
 package core
 
 import (
@@ -269,4 +281,3 @@ func (m *Middleware) ReferencePOIs(raw *trace.Dataset) (map[string][]geo.Point, 
 	}
 	return out, nil
 }
-

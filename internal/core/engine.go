@@ -195,27 +195,31 @@ func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lp
 }
 
 // evaluateAll fans the portfolio out over the worker pool and fans the
-// scorecards back in, preserving portfolio order. The Parallelism budget is
-// split between strategy workers and per-strategy trajectory workers: with
-// P cores and S strategies, min(P, S) strategies run concurrently and each
-// protects trajectories on P/min(P,S) workers (Parallelism 1 stays fully
-// sequential; a single-strategy portfolio gives the whole budget to
-// trajectory workers).
+// scorecards back in, preserving portfolio order. The budget (a worker
+// count; sharded publication hands each shard a slice of the global
+// Config.Parallelism) is split between strategy workers and per-strategy
+// trajectory workers: with P workers and S strategies, min(P, S) strategies
+// run concurrently and each protects trajectories on P/min(P,S) workers
+// (budget 1 stays fully sequential; a single-strategy portfolio gives the
+// whole budget to trajectory workers).
 //
 // When track is non-nil every outcome is offered to it, retaining the best
 // floor-meeting protected dataset for Publish; a nil track (Evaluate)
 // keeps no protected data at all.
-func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track *winner) ([]Evaluation, error) {
+func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track *winner, budget int) ([]Evaluation, error) {
 	ec, err := m.newEvalContext(ctx, raw)
 	if err != nil {
 		return nil, err
 	}
+	if budget < 1 {
+		budget = 1
+	}
 	n := len(m.strategies)
-	workers := m.cfg.Parallelism
+	workers := budget
 	if workers > n {
 		workers = n
 	}
-	inner := m.cfg.Parallelism / workers // workers >= 1: New requires a non-empty portfolio
+	inner := budget / workers // workers >= 1: New requires a non-empty portfolio
 	evals := make([]Evaluation, n)
 	err = par.For(ctx, n, workers, func(ctx context.Context, i int) error {
 		ev, prot, err := m.evaluateStrategy(ctx, ec, m.strategies[i], inner)
@@ -239,7 +243,7 @@ func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track 
 // Config.Parallelism; evaluations appear in portfolio order. The run is
 // abandoned promptly when ctx is cancelled.
 func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([]Evaluation, error) {
-	return m.evaluateAll(ctx, raw, nil)
+	return m.evaluateAll(ctx, raw, nil, m.cfg.Parallelism)
 }
 
 // Evaluate scores every candidate strategy against the raw dataset. It is
@@ -257,7 +261,7 @@ func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
 // run is abandoned promptly when ctx is cancelled.
 func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
 	track := &winner{idx: -1}
-	evals, err := m.evaluateAll(ctx, raw, track)
+	evals, err := m.evaluateAll(ctx, raw, track, m.cfg.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,8 +1,8 @@
 // Package exp is the experiment harness: one runner per experiment of
-// DESIGN.md §4 (E1–E12), each regenerating the corresponding table of
-// EXPERIMENTS.md. The runners are shared by the cmd/experiments binary and
-// the root-level benchmarks, and all take an explicit seed so results are
-// reproducible.
+// DESIGN.md §4 (E1–E12, plus E13 for sharded publication), each
+// regenerating the corresponding table of EXPERIMENTS.md. The runners are
+// shared by the cmd/experiments binary and the root-level benchmarks, and
+// all take an explicit seed so results are reproducible.
 package exp
 
 import (

@@ -296,6 +296,49 @@ func TestE11FiltersShape(t *testing.T) {
 	}
 }
 
+// TestE13ShardingShape: sharded publication must hold the privacy floor in
+// every mode and land within epsilon of the monolithic release's exposure
+// (the acceptance bar for the sharding pipeline).
+func TestE13ShardingShape(t *testing.T) {
+	tab, err := E13Sharding(context.Background(), workload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (monolithic + 3 policies)", len(tab.Rows))
+	}
+	monoExposure, err := strconv.ParseFloat(cell(tab, 0, 4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floor, epsilon = 0.33, 0.2
+	for r := 1; r < len(tab.Rows); r++ {
+		mode := cell(tab, r, 0)
+		shards, _ := strconv.Atoi(cell(tab, r, 1))
+		if shards < 2 {
+			t.Errorf("%s: only %d shards; workload should split", mode, shards)
+		}
+		exposure, err := strconv.ParseFloat(cell(tab, r, 4), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exposure > floor {
+			t.Errorf("%s: worst-shard exposure %.3f breaks the %.2f floor", mode, exposure, floor)
+		}
+		if diff := exposure - monoExposure; diff > epsilon || diff < -epsilon {
+			t.Errorf("%s: exposure %.3f not within %.2f of monolithic %.3f", mode, exposure, epsilon, monoExposure)
+		}
+		utility, err := strconv.ParseFloat(cell(tab, r, 5), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if utility < 0.4 {
+			t.Errorf("%s: weighted utility %.3f collapsed vs monolithic %s", mode, utility, cell(tab, 0, 5))
+		}
+	}
+}
+
 func TestE12SecAggShape(t *testing.T) {
 	tab, err := E12SecAgg(workload(t), 5, 16)
 	if err != nil {

@@ -27,7 +27,17 @@ var (
 	ErrUnknownTask         = errors.New("hive: unknown task")
 	ErrNotAssigned         = errors.New("hive: device not assigned to task")
 	ErrNoQualifyingDevices = errors.New("hive: no device qualifies for the task")
+	// ErrUploadLimit is returned by SubmitUpload when a task has reached
+	// its per-task upload cap (see SetMaxUploadsPerTask). The HTTP layer
+	// maps it to 429 Too Many Requests.
+	ErrUploadLimit = errors.New("hive: task upload limit reached")
 )
+
+// DefaultMaxUploadsPerTask is the per-task upload cap of a fresh Hive. The
+// upload store is in-memory, so without a cap a runaway device fleet (or a
+// stuck device retrying the same batch) could grow one task's history until
+// the service OOMs.
+const DefaultMaxUploadsPerTask = 100000
 
 // Hive is the central coordination service.
 type Hive struct {
@@ -36,18 +46,29 @@ type Hive struct {
 	tasks       map[string]transport.TaskSpec
 	assignments map[string]map[string]bool // taskID -> deviceID set
 	uploads     map[string][]transport.Upload
+	uploadCap   int // per-task; <= 0 means unlimited
 	nextTaskID  int
 	journal     *Journal // optional durability, see journal.go
 }
 
-// New creates an empty Hive.
+// New creates an empty Hive with the default per-task upload cap.
 func New() *Hive {
 	return &Hive{
 		devices:     make(map[string]transport.DeviceInfo),
 		tasks:       make(map[string]transport.TaskSpec),
 		assignments: make(map[string]map[string]bool),
 		uploads:     make(map[string][]transport.Upload),
+		uploadCap:   DefaultMaxUploadsPerTask,
 	}
+}
+
+// SetMaxUploadsPerTask bounds how many uploads one task may accumulate;
+// further submissions fail with ErrUploadLimit. n <= 0 removes the cap.
+// Journal replay is exempt: recovery restores whatever was accepted.
+func (h *Hive) SetMaxUploadsPerTask(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.uploadCap = n
 }
 
 // RegisterDevice adds a device to the community. Re-registering the same ID
@@ -182,6 +203,9 @@ func (h *Hive) SubmitUpload(u transport.Upload) error {
 	}
 	if !h.assignments[u.TaskID][u.DeviceID] {
 		return fmt.Errorf("%w: device %s, task %s", ErrNotAssigned, u.DeviceID, u.TaskID)
+	}
+	if h.uploadCap > 0 && len(h.uploads[u.TaskID]) >= h.uploadCap {
+		return fmt.Errorf("%w: task %s already holds %d uploads", ErrUploadLimit, u.TaskID, len(h.uploads[u.TaskID]))
 	}
 	h.uploads[u.TaskID] = append(h.uploads[u.TaskID], u)
 	return h.logEvent(event{Kind: evUpload, Upload: &u})

@@ -188,6 +188,69 @@ func must(t *testing.T, err error) {
 	}
 }
 
+// TestUploadCap: the per-task upload cap bounds memory against a runaway
+// fleet — further submissions fail with ErrUploadLimit, other tasks are
+// unaffected, and lifting the cap re-opens ingestion.
+func TestUploadCap(t *testing.T) {
+	h := New()
+	h.SetMaxUploadsPerTask(2)
+	must(t, h.RegisterDevice(deviceInfo("d1", "alice", 45.7, 4.8)))
+	spec, _, err := h.PublishTask(taskSpec("capped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := h.PublishTask(taskSpec("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := func(task string) transport.Upload {
+		return transport.Upload{TaskID: task, DeviceID: "d1", Records: []transport.UploadRecord{{Sensor: "gps"}}}
+	}
+	must(t, h.SubmitUpload(up(spec.ID)))
+	must(t, h.SubmitUpload(up(spec.ID)))
+	if err := h.SubmitUpload(up(spec.ID)); !errors.Is(err, ErrUploadLimit) {
+		t.Fatalf("third upload err = %v, want ErrUploadLimit", err)
+	}
+	ups, err := h.Uploads(spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 {
+		t.Errorf("capped task holds %d uploads, want 2", len(ups))
+	}
+	// The cap is per task, not global.
+	must(t, h.SubmitUpload(up(other.ID)))
+	// Lifting the cap re-opens ingestion.
+	h.SetMaxUploadsPerTask(0)
+	must(t, h.SubmitUpload(up(spec.ID)))
+	if ups, _ := h.Uploads(spec.ID); len(ups) != 3 {
+		t.Errorf("uncapped task holds %d uploads, want 3", len(ups))
+	}
+}
+
+// TestUploadCapHTTP: the HTTP layer reports a full task as 429.
+func TestUploadCapHTTP(t *testing.T) {
+	h := New()
+	h.SetMaxUploadsPerTask(1)
+	must(t, h.RegisterDevice(deviceInfo("d1", "alice", 45.7, 4.8)))
+	spec, _, err := h.PublishTask(taskSpec("capped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(h))
+	defer srv.Close()
+	cl := transport.NewClient(srv.URL)
+	up := transport.Upload{TaskID: spec.ID, DeviceID: "d1", Records: []transport.UploadRecord{{Sensor: "gps"}}}
+	if err := cl.Do(context.Background(), http.MethodPost, "/api/uploads", up, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Do(context.Background(), http.MethodPost, "/api/uploads", up, nil)
+	var status *transport.ErrStatus
+	if !errors.As(err, &status) || status.Code != http.StatusTooManyRequests {
+		t.Errorf("second upload err = %v, want HTTP 429", err)
+	}
+}
+
 // ---- HTTP API ----
 
 func TestHTTPEndToEnd(t *testing.T) {

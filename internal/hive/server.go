@@ -60,6 +60,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusForbidden
 	case errors.Is(err, ErrNoQualifyingDevices):
 		code = http.StatusConflict
+	case errors.Is(err, ErrUploadLimit):
+		code = http.StatusTooManyRequests
 	default:
 		code = http.StatusBadRequest
 	}

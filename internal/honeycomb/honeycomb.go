@@ -132,15 +132,38 @@ func (h *Honeycomb) PublishPrivate(raw *trace.Dataset, cfg core.Config) (*trace.
 // PublishPrivateContext is PublishPrivate with a caller-supplied context:
 // long publications are abandoned promptly when ctx is cancelled.
 func (h *Honeycomb) PublishPrivateContext(ctx context.Context, raw *trace.Dataset, cfg core.Config) (*trace.Dataset, *core.Selection, error) {
+	mw, err := h.middleware(raw, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mw.PublishContext(ctx, raw)
+}
+
+// PublishPrivateShardedContext partitions the collected dataset with the
+// given shard policy, runs the PRIVAPI strategy selection per shard on the
+// shared Parallelism budget, and returns the merged release plus the
+// aggregate per-shard report. This is how very large collections are
+// published: each region or time window is protected by whichever strategy
+// fits it best, and the release's privacy guarantee is the worst shard's.
+func (h *Honeycomb) PublishPrivateShardedContext(ctx context.Context, raw *trace.Dataset, cfg core.Config, by core.ShardBy) (*trace.Dataset, *core.ShardedSelection, error) {
+	mw, err := h.middleware(raw, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mw.PublishShardedContext(ctx, raw, by)
+}
+
+// middleware builds a PRIVAPI engine anchored at the dataset's centre.
+func (h *Honeycomb) middleware(raw *trace.Dataset, cfg core.Config) (*core.Middleware, error) {
 	origin := geo.Point{Lat: 45.7640, Lon: 4.8357}
 	if box, ok := raw.BBox(); ok {
 		origin = box.Center()
 	}
 	mw, err := core.New(cfg, origin)
 	if err != nil {
-		return nil, nil, fmt.Errorf("honeycomb %s: privapi: %w", h.name, err)
+		return nil, fmt.Errorf("honeycomb %s: privapi: %w", h.name, err)
 	}
-	return mw.PublishContext(ctx, raw)
+	return mw, nil
 }
 
 // Store accumulates the uploads a Honeycomb collected, per task.

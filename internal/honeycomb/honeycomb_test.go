@@ -196,6 +196,48 @@ func TestPublishPrivateIntegration(t *testing.T) {
 	}
 }
 
+// TestPublishPrivateSharded: the sharded hook partitions the collected
+// dataset, publishes per shard and merges, with the same floor guarantee in
+// every released shard.
+func TestPublishPrivateSharded(t *testing.T) {
+	ds, _, err := mobgen.Generate(mobgen.Config{Seed: 34, Users: 8, Days: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := New("lab", "http://unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.ShardPolicyFromSpec("window:dur=48h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, sel, err := hc.PublishPrivateShardedContext(context.Background(), ds,
+		core.Config{PseudonymKey: []byte("sharded")}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Shards) < 2 {
+		t.Fatalf("%d shards, want >= 2 on a 4-day collection", len(sel.Shards))
+	}
+	if release.Len() != sel.Released || release.Len() == 0 {
+		t.Fatalf("release has %d trajectories, report says %d", release.Len(), sel.Released)
+	}
+	if sel.WorstExposure > sel.Floor {
+		t.Errorf("worst shard exposure %.3f above floor %.3f", sel.WorstExposure, sel.Floor)
+	}
+	for _, tr := range release.Trajectories {
+		if strings.HasPrefix(tr.User, "user-") {
+			t.Fatal("sharded release leaks raw user ids")
+		}
+	}
+	// Invalid config surfaces cleanly.
+	if _, _, err := hc.PublishPrivateShardedContext(context.Background(), ds,
+		core.Config{MaxPOIExposure: 3}, policy); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
 func TestPublishPrivateContextCancelled(t *testing.T) {
 	ds, _, err := mobgen.Generate(mobgen.Config{Seed: 33, Users: 6, Days: 3})
 	if err != nil {
