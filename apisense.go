@@ -43,6 +43,7 @@ import (
 	"apisense/internal/hive"
 	"apisense/internal/honeycomb"
 	"apisense/internal/incentive"
+	"apisense/internal/ingest"
 	"apisense/internal/lppm"
 	"apisense/internal/metrics"
 	"apisense/internal/mobgen"
@@ -302,12 +303,27 @@ type (
 	TaskSpec = transport.TaskSpec
 	// Upload is a device's dataset batch.
 	Upload = transport.Upload
+	// UploadBatch is several uploads submitted in one request.
+	UploadBatch = transport.UploadBatch
+	// UploadBatchResponse carries per-item admission results.
+	UploadBatchResponse = transport.UploadBatchResponse
 	// DeviceInfo is a device registration record.
 	DeviceInfo = transport.DeviceInfo
 	// Hive is the central coordination service.
 	Hive = hive.Hive
 	// HiveServer is the Hive's HTTP API.
 	HiveServer = hive.Server
+	// IngestQueue is the bounded, group-committing ingestion queue.
+	IngestQueue = ingest.Queue
+	// IngestConfig sizes an IngestQueue.
+	IngestConfig = ingest.Config
+	// ServerOption configures a HiveServer (see WithIngestQueue).
+	ServerOption = hive.ServerOption
+	// BatchUploader buffers device uploads and flushes them in batches
+	// with jittered retry on backpressure.
+	BatchUploader = device.BatchUploader
+	// UploaderConfig tunes a BatchUploader.
+	UploaderConfig = device.UploaderConfig
 	// Honeycomb is an experimenter endpoint.
 	Honeycomb = honeycomb.Honeycomb
 	// Device is a simulated mobile device.
@@ -329,8 +345,19 @@ func NewHive() *Hive { return hive.New() }
 // appending, making the service restart-safe.
 var RecoverHive = hive.Recover
 
-// NewHiveServer wraps a Hive with its HTTP API.
-func NewHiveServer(h *Hive) *HiveServer { return hive.NewServer(h) }
+// NewHiveServer wraps a Hive with its HTTP API; pass WithIngestQueue to
+// stream uploads through a bounded queue with backpressure.
+func NewHiveServer(h *Hive, opts ...hive.ServerOption) *HiveServer { return hive.NewServer(h, opts...) }
+
+// WithIngestQueue routes the server's upload endpoints through q.
+var WithIngestQueue = hive.WithIngestQueue
+
+// NewIngestQueue builds the bounded ingestion queue over a Hive (or any
+// ingest.Sink) and starts its drain workers.
+func NewIngestQueue(h *Hive, cfg IngestConfig) *IngestQueue { return ingest.New(h, cfg) }
+
+// ErrQueueFull is the ingest queue's backpressure signal (HTTP 429).
+var ErrQueueFull = ingest.ErrQueueFull
 
 // NewHoneycomb creates an experimenter endpoint against a Hive URL.
 func NewHoneycomb(name, hiveURL string) (*Honeycomb, error) { return honeycomb.New(name, hiveURL) }

@@ -14,6 +14,9 @@ package apisense
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -21,6 +24,8 @@ import (
 
 	"apisense/internal/device"
 	"apisense/internal/exp"
+	"apisense/internal/hive"
+	"apisense/internal/ingest"
 	"apisense/internal/lppm"
 	"apisense/internal/mobgen"
 	"apisense/internal/poi"
@@ -185,6 +190,102 @@ func BenchmarkPublishSharded(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkIngestBatch measures upload ingestion throughput over HTTP into
+// a journaled Hive: the per-request path (one POST /api/uploads and one
+// fsync per upload) against the streaming path (one POST /api/uploads/batch
+// of 100 uploads through the bounded ingest queue, one group-commit fsync
+// for the whole batch). Every iteration ingests the same 100 uploads, so
+// ns/op is directly comparable; the batch path amortises both the HTTP
+// round-trips and the journal syncs and lands well above the 3x mark.
+func BenchmarkIngestBatch(b *testing.B) {
+	const batchSize = 100
+	upload := transport.Upload{Records: []transport.UploadRecord{
+		{Sensor: "gps", TimeMillis: 1418031000000, Data: map[string]any{"lat": 45.76, "lon": 4.83}},
+	}}
+
+	setup := func(b *testing.B, withQueue bool) (*transport.Client, transport.Upload, func()) {
+		b.Helper()
+		h, j, err := hive.Recover(filepath.Join(b.TempDir(), "hive.journal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.SetMaxUploadsPerTask(0) // the bench accumulates b.N*100 uploads
+		if err := h.RegisterDevice(transport.DeviceInfo{ID: "d1", User: "bench", Sensors: []string{"gps"}}); err != nil {
+			b.Fatal(err)
+		}
+		spec, _, err := h.PublishTask(transport.TaskSpec{
+			Name: "ingest-bench", Author: "bench", Script: "var x = 1;",
+			PeriodSeconds: 60, Sensors: []string{"gps"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []hive.ServerOption
+		var q *ingest.Queue
+		if withQueue {
+			q = ingest.New(h, ingest.Config{Capacity: 64, MaxBatch: 2 * batchSize})
+			opts = append(opts, hive.WithIngestQueue(q))
+		}
+		srv := httptest.NewServer(hive.NewServer(h, opts...))
+		up := upload
+		up.TaskID, up.DeviceID = spec.ID, "d1"
+		cleanup := func() {
+			srv.Close()
+			if q != nil {
+				q.Close()
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return transport.NewClient(srv.URL), up, cleanup
+	}
+
+	b.Run("per-request", func(b *testing.B) {
+		cl, up, cleanup := setup(b, false)
+		defer cleanup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batchSize; k++ {
+				if err := cl.Do(context.Background(), http.MethodPost, "/api/uploads", up, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		reportUploadThroughput(b, batchSize)
+	})
+
+	b.Run(fmt.Sprintf("batch=%d", batchSize), func(b *testing.B) {
+		cl, up, cleanup := setup(b, true)
+		defer cleanup()
+		batch := transport.UploadBatch{Uploads: make([]transport.Upload, batchSize)}
+		for k := range batch.Uploads {
+			batch.Uploads[k] = up
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var resp transport.UploadBatchResponse
+			if err := cl.Do(context.Background(), http.MethodPost, "/api/uploads/batch", batch, &resp); err != nil {
+				b.Fatal(err)
+			}
+			if resp.Accepted != batchSize {
+				b.Fatalf("accepted %d/%d", resp.Accepted, batchSize)
+			}
+		}
+		b.StopTimer()
+		reportUploadThroughput(b, batchSize)
+	})
+}
+
+// reportUploadThroughput converts ns/op (one op = batchSize uploads) into
+// an uploads/s metric so the two ingestion paths read directly.
+func reportUploadThroughput(b *testing.B, batchSize int) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "uploads/s")
 	}
 }
 

@@ -1,10 +1,13 @@
 // Command devicesim simulates a fleet of mobile devices against a running
 // Hive: it registers the devices, polls their assigned tasks, executes the
-// task scripts over synthetic mobility, and uploads the results.
+// task scripts over synthetic mobility, and uploads the results. Results
+// are buffered and flushed to the Hive's batch endpoint in groups of
+// -batch uploads; when the Hive's ingest queue pushes back with 429 the
+// flush retries with jittered backoff.
 //
 // Usage (with a Hive running on :8080):
 //
-//	devicesim -hive http://127.0.0.1:8080 -devices 20 -days 1 -wait 30s
+//	devicesim -hive http://127.0.0.1:8080 -devices 20 -days 1 -wait 30s -batch 8
 package main
 
 import (
@@ -36,6 +39,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "mobility seed")
 	wait := fs.Duration("wait", 30*time.Second, "how long to poll for tasks")
 	poll := fs.Duration("poll", 2*time.Second, "task poll interval")
+	batch := fs.Int("batch", 8, "uploads buffered per batch flush")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +67,16 @@ func run(args []string) error {
 	}
 	log.Printf("registered %d devices with %s", len(devices), *hiveURL)
 
+	uploader := device.NewBatchUploader(client, device.UploaderConfig{
+		BatchSize: *batch,
+		Seed:      int64(*seed),
+	})
+	logFlush := func(resp *transport.UploadBatchResponse) {
+		if resp != nil && len(resp.Results) > 0 {
+			log.Printf("flushed batch: %d accepted, %d rejected (%d backpressure retries so far)",
+				resp.Accepted, resp.Rejected, uploader.Retries)
+		}
+	}
 	done := make(map[string]bool) // deviceID/taskID pairs already executed
 	deadline := time.Now().Add(*wait)
 	for time.Now().Before(deadline) {
@@ -84,10 +98,12 @@ func run(args []string) error {
 					log.Printf("device %s task %s: %v", d.ID(), spec.ID, err)
 					continue
 				}
-				if err := client.Do(ctx, http.MethodPost, "/api/uploads", res.Upload, nil); err != nil {
+				resp, err := uploader.Add(ctx, res.Upload)
+				if err != nil {
 					log.Printf("upload %s: %v", d.ID(), err)
 					continue
 				}
+				logFlush(resp)
 				executed++
 				log.Printf("device %s executed %s: %d records (%d filtered), battery %.1f%%",
 					d.ID(), spec.ID, len(res.Upload.Records), res.Dropped, d.Battery().Level())
@@ -96,6 +112,12 @@ func run(args []string) error {
 		if executed == 0 {
 			time.Sleep(*poll)
 		}
+	}
+	resp, err := uploader.Flush(ctx)
+	if err != nil {
+		log.Printf("final flush: %v", err)
+	} else {
+		logFlush(resp)
 	}
 	log.Printf("done: executed %d task instances", len(done))
 	return nil

@@ -1,20 +1,34 @@
 // Command hive runs the central APISENSE Hive service: device registry,
 // task publication and dataset ingestion, exposed over HTTP/JSON.
 //
+// Ingestion is streamed through a bounded queue: uploads (single or
+// batched via POST /api/uploads/batch) are admitted by a pool of drain
+// workers and journaled with group commits — one fsync per drained batch.
+// A full queue answers 429 with a Retry-After hint instead of accepting
+// unbounded work. SIGINT/SIGTERM shuts down gracefully: the HTTP server
+// stops taking requests, the queue drains, and the journal is synced and
+// closed, so no acknowledged upload is lost.
+//
 // Usage:
 //
-//	hive [-addr :8080]
+//	hive [-addr :8080] [-journal hive.journal] [-sync-every 1]
+//	     [-queue 256] [-batch 256] [-drain-workers 1]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"apisense/internal/hive"
+	"apisense/internal/ingest"
 )
 
 func main() {
@@ -28,26 +42,105 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hive", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	journal := fs.String("journal", "", "journal file for durable state (empty = in-memory only)")
+	syncEvery := fs.Int("sync-every", 1, "fsync the journal every N group commits (0 = never, leave it to the OS)")
+	queueSize := fs.Int("queue", 256, "ingest queue capacity in batch slots (0 = synchronous ingestion, no backpressure)")
+	maxBatch := fs.Int("batch", 256, "max uploads coalesced into one group commit")
+	drainWorkers := fs.Int("drain-workers", 1, "ingest drain worker pool size (1 maximises group-commit coalescing; the Hive serialises commits anyway)")
+	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var h *hive.Hive
+
+	var (
+		h *hive.Hive
+		j *hive.Journal
+	)
 	if *journal != "" {
-		recovered, j, err := hive.Recover(*journal)
+		recovered, jj, err := hive.Recover(*journal)
 		if err != nil {
 			return err
 		}
-		defer j.Close()
-		h = recovered
+		h, j = recovered, jj
+		j.SetSyncEvery(*syncEvery)
 		log.Printf("recovered state from %s: %+v", *journal, h.Stats())
 	} else {
 		h = hive.New()
 	}
+
+	var opts []hive.ServerOption
+	var q *ingest.Queue
+	if *queueSize > 0 {
+		q = ingest.New(h, ingest.Config{
+			Capacity: *queueSize,
+			MaxBatch: *maxBatch,
+			Workers:  *drainWorkers,
+		})
+		opts = append(opts, hive.WithIngestQueue(q))
+		log.Printf("ingest queue: %d batch slots, %d drain workers, group commits of <= %d uploads",
+			*queueSize, *drainWorkers, *maxBatch)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           hive.NewServer(h),
+		Handler:           hive.NewServer(h, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("hive listening on %s", *addr)
-	return srv.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hive listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own; still drain what was accepted.
+		if perr := shutdownPipeline(q, j); perr != nil {
+			log.Printf("shutdown after listener failure: %v", perr)
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop taking requests (waiting out in-flight ones
+	// up to the grace deadline), then drain the ingest queue and close the
+	// journal — acknowledged uploads are on disk before we exit. Releasing
+	// the signal handler first restores default delivery, so a second
+	// SIGINT/SIGTERM during a hung drain kills the process instead of
+	// being swallowed.
+	stop()
+	log.Printf("shutting down (grace %s; press again to force quit)...", *grace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shCtx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		log.Printf("grace deadline hit; closing remaining connections")
+		shutdownErr = nil
+		_ = srv.Close()
+	}
+	if err := shutdownPipeline(q, j); err != nil {
+		return err
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shutdown complete: %+v", h.Stats())
+	return shutdownErr
+}
+
+// shutdownPipeline drains the ingest queue (committing every batch already
+// accepted into it) and then syncs and closes the journal.
+func shutdownPipeline(q *ingest.Queue, j *hive.Journal) error {
+	if q != nil {
+		q.Close()
+	}
+	if j != nil {
+		if err := j.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

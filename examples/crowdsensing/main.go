@@ -112,7 +112,10 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("deployed %s; recruited %d devices\n", spec.ID, len(recruited))
 
-	// 4. Devices pull their task and execute it; uploads flow back.
+	// 4. Devices pull their task and execute it; the fleet's uploads are
+	// gathered and ingested as ONE batch — a single group commit on the
+	// Hive instead of one submission round-trip per device.
+	var fleetBatch []apisense.Upload
 	for _, d := range devices {
 		tasks, err := hive.TasksFor(d.ID())
 		if err != nil {
@@ -123,13 +126,17 @@ func run(ctx context.Context) error {
 			if err != nil {
 				return err
 			}
-			if err := hive.SubmitUpload(res.Upload); err != nil {
-				return err
-			}
-			fmt.Printf("  %-16s %4d records uploaded, %3d filtered out, battery %.1f%%\n",
+			fleetBatch = append(fleetBatch, res.Upload)
+			fmt.Printf("  %-16s %4d records collected, %3d filtered out, battery %.1f%%\n",
 				d.ID(), len(res.Upload.Records), res.Dropped, d.Battery().Level())
 		}
 	}
+	for i, err := range hive.SubmitBatch(fleetBatch) {
+		if err != nil {
+			return fmt.Errorf("batch item %d (%s): %w", i, fleetBatch[i].DeviceID, err)
+		}
+	}
+	fmt.Printf("ingested a batch of %d uploads\n", len(fleetBatch))
 
 	// 5. The Honeycomb collects and converts the uploads.
 	ups, err := hc.Collect(ctx, spec.ID)

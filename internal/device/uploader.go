@@ -1,0 +1,209 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"apisense/internal/transport"
+)
+
+// UploaderConfig tunes a BatchUploader. The zero value gets sensible
+// defaults.
+type UploaderConfig struct {
+	// BatchSize is the flush threshold: Add flushes automatically once
+	// this many uploads are buffered. Default 16.
+	BatchSize int
+	// MaxRetries bounds how many times one flush is resubmitted after a
+	// 429 (backpressured ingest queue) before giving up. Default 5.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff between retries; the
+	// server's Retry-After hint overrides it when larger. Default 250ms.
+	BaseDelay time.Duration
+	// MaxBuffered bounds the pending buffer on a device with limited
+	// memory: when a persistently failing server keeps items buffered
+	// past the bound, the OLDEST uploads are shed (counted in Dropped).
+	// Default 64 * BatchSize.
+	MaxBuffered int
+	// Seed makes the retry jitter deterministic (0 picks a fixed seed, so
+	// simulations stay reproducible).
+	Seed int64
+	// Sleep is the wait primitive, injectable in tests. The default
+	// honours ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c UploaderConfig) withDefaults() UploaderConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 250 * time.Millisecond
+	}
+	if c.MaxBuffered <= 0 {
+		c.MaxBuffered = 64 * c.BatchSize
+	}
+	if c.MaxBuffered < c.BatchSize {
+		// A cap below the flush threshold would shed everything before a
+		// flush could ever trigger.
+		c.MaxBuffered = c.BatchSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return c
+}
+
+// BatchUploader buffers task uploads device-side and flushes them to the
+// Hive's batch endpoint, so a fleet produces a few large ingest batches
+// instead of a thundering herd of single-upload requests. When the Hive's
+// queue pushes back (HTTP 429) the flush retries with jittered exponential
+// backoff, honouring the server's Retry-After hint — the jitter decorrelates
+// a fleet that was rejected together so it does not stampede back together.
+//
+// Not safe for concurrent use; give each uploading goroutine its own
+// BatchUploader.
+type BatchUploader struct {
+	client  *transport.Client
+	cfg     UploaderConfig
+	rng     *rand.Rand
+	pending []transport.Upload
+	// flushAt is the buffer length that triggers the next automatic
+	// flush. Normally BatchSize; after a flush that kept transiently
+	// failed items it is raised to kept+BatchSize, so a sick server is
+	// re-tried once per BatchSize of fresh data instead of on every Add.
+	flushAt int
+	// Retries counts backpressure retries performed, for logging.
+	Retries int
+	// Dropped counts uploads shed oldest-first because the buffer hit
+	// MaxBuffered while the server kept failing.
+	Dropped int
+}
+
+// NewBatchUploader builds an uploader over the Hive client.
+func NewBatchUploader(client *transport.Client, cfg UploaderConfig) *BatchUploader {
+	cfg = cfg.withDefaults()
+	return &BatchUploader{
+		client:  client,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		flushAt: cfg.BatchSize,
+	}
+}
+
+// Pending reports how many uploads are buffered.
+func (u *BatchUploader) Pending() int { return len(u.pending) }
+
+// Add buffers one upload, flushing automatically when the buffer reaches
+// the flush threshold (BatchSize of fresh data). The response is nil when
+// no flush happened. When the buffer hits MaxBuffered the oldest uploads
+// are shed (see Dropped) instead of growing without bound.
+func (u *BatchUploader) Add(ctx context.Context, up transport.Upload) (*transport.UploadBatchResponse, error) {
+	u.pending = append(u.pending, up)
+	if over := len(u.pending) - u.cfg.MaxBuffered; over > 0 {
+		u.pending = append(u.pending[:0], u.pending[over:]...)
+		u.Dropped += over
+	}
+	if len(u.pending) < u.flushAt {
+		return nil, nil
+	}
+	return u.Flush(ctx)
+}
+
+// Flush submits the buffered uploads as one batch. On a response, items
+// whose verdict is a semantic rejection (unknown task/device, not
+// assigned, over the cap — errors the device cannot fix by retrying) are
+// dropped with the accepted ones; items the server marked "failed" (a
+// transient storage/journal error) stay buffered for a later Flush. On
+// backpressure (429) the whole flush is retried up to MaxRetries times
+// with jittered backoff; if the queue is still full the buffer is kept so
+// a later Flush can try again, and the transport error is returned.
+func (u *BatchUploader) Flush(ctx context.Context) (*transport.UploadBatchResponse, error) {
+	if len(u.pending) == 0 {
+		return &transport.UploadBatchResponse{}, nil
+	}
+	batch := transport.UploadBatch{Uploads: u.pending}
+	var resp transport.UploadBatchResponse
+	for attempt := 0; ; attempt++ {
+		err := u.client.Do(ctx, http.MethodPost, "/api/uploads/batch", batch, &resp)
+		if err == nil {
+			// Keep transiently failed items (fresh slice: batch.Uploads
+			// aliases u.pending); everything else is settled. Raising the
+			// flush threshold past the kept tail stops a persistently sick
+			// server from being re-flushed on every subsequent Add.
+			var kept []transport.Upload
+			for _, r := range resp.Results {
+				if r.Code == transport.UploadFailed && r.Index >= 0 && r.Index < len(batch.Uploads) {
+					kept = append(kept, batch.Uploads[r.Index])
+				}
+			}
+			u.pending = kept
+			u.deferFlush()
+			return &resp, nil
+		}
+		var status *transport.ErrStatus
+		if !errors.As(err, &status) || status.Code != http.StatusTooManyRequests || attempt >= u.cfg.MaxRetries {
+			// Give up, keeping the buffer — but raise the auto-flush
+			// threshold past it, or every subsequent Add would re-run a
+			// full retry cycle against the saturated server.
+			u.deferFlush()
+			return nil, fmt.Errorf("device: flush %d uploads: %w", len(u.pending), err)
+		}
+		u.Retries++
+		if serr := u.cfg.Sleep(ctx, u.backoff(attempt, status.RetryAfter)); serr != nil {
+			u.deferFlush()
+			return nil, serr
+		}
+	}
+}
+
+// deferFlush raises the auto-flush threshold one BatchSize past whatever
+// stayed buffered, so Add re-tries a struggling server once per BatchSize
+// of fresh data instead of on every call. Clamped so the threshold stays
+// reachable; at the MaxBuffered cap the device is already shedding data,
+// and trying the server on every Add is then the right amount of
+// aggressive.
+func (u *BatchUploader) deferFlush() {
+	u.flushAt = len(u.pending) + u.cfg.BatchSize
+	if u.flushAt > u.cfg.MaxBuffered {
+		u.flushAt = u.cfg.MaxBuffered
+	}
+}
+
+// maxBackoff caps one retry wait; beyond it the exponential stops growing.
+const maxBackoff = 30 * time.Second
+
+// backoff picks the wait before retry `attempt`: the larger of the server's
+// Retry-After hint and the exponential base (capped at maxBackoff), plus
+// up to 50% random jitter.
+func (u *BatchUploader) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base := u.cfg.BaseDelay
+	for i := 0; i < attempt && base < maxBackoff; i++ {
+		base *= 2
+	}
+	if retryAfter > base {
+		base = retryAfter
+	}
+	if base > maxBackoff {
+		base = maxBackoff
+	}
+	return base + time.Duration(u.rng.Int63n(int64(base)/2+1))
+}

@@ -1,0 +1,332 @@
+package device
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apisense/internal/transport"
+)
+
+// batchServer fakes the Hive's batch endpoint: it answers 429 (with an
+// optional Retry-After) for the first reject429 calls, then accepts
+// everything, recording the batch sizes it saw.
+func batchServer(t *testing.T, reject429 int, retryAfter string) (*httptest.Server, *[]int, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	sizes := &[]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/uploads/batch" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if int(calls.Add(1)) <= reject429 {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, `{"error":"ingest: queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		var batch transport.UploadBatch
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			t.Error(err)
+		}
+		*sizes = append(*sizes, len(batch.Uploads))
+		resp := transport.UploadBatchResponse{Accepted: len(batch.Uploads)}
+		for i := range batch.Uploads {
+			resp.Results = append(resp.Results, transport.UploadResult{Index: i, Code: transport.UploadOK})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	return srv, sizes, &calls
+}
+
+func up(i int) transport.Upload {
+	return transport.Upload{TaskID: "task-0001", DeviceID: fmt.Sprintf("d%d", i)}
+}
+
+func TestBatchUploaderFlushesAtThreshold(t *testing.T) {
+	srv, sizes, _ := batchServer(t, 0, "")
+	defer srv.Close()
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{BatchSize: 3})
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		resp, err := u.Add(ctx, up(i))
+		if err != nil || resp != nil {
+			t.Fatalf("Add %d below threshold: resp=%v err=%v", i, resp, err)
+		}
+	}
+	if u.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", u.Pending())
+	}
+	resp, err := u.Add(ctx, up(2)) // hits the threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp == nil || resp.Accepted != 3 {
+		t.Fatalf("flush response = %+v, want 3 accepted", resp)
+	}
+	if u.Pending() != 0 {
+		t.Errorf("pending after flush = %d, want 0", u.Pending())
+	}
+	if len(*sizes) != 1 || (*sizes)[0] != 3 {
+		t.Errorf("server saw batches %v, want [3]", *sizes)
+	}
+
+	// Flush with an empty buffer is a no-op.
+	if resp, err := u.Flush(ctx); err != nil || resp.Accepted != 0 {
+		t.Errorf("empty flush = %+v, %v", resp, err)
+	}
+	if len(*sizes) != 1 {
+		t.Errorf("empty flush hit the server: %v", *sizes)
+	}
+}
+
+// TestBatchUploaderRetriesOn429: backpressure is retried with jittered
+// backoff that honours the server's Retry-After hint, and the buffer
+// survives until the flush lands.
+func TestBatchUploaderRetriesOn429(t *testing.T) {
+	srv, sizes, calls := batchServer(t, 2, "1")
+	defer srv.Close()
+
+	var delays []time.Duration
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{
+		BatchSize: 2, BaseDelay: 100 * time.Millisecond,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	})
+	resp, err := u.Add(context.Background(), up(0))
+	if err != nil || resp != nil {
+		t.Fatal(err)
+	}
+	resp, err = u.Add(context.Background(), up(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp == nil || resp.Accepted != 2 {
+		t.Fatalf("response = %+v, want 2 accepted", resp)
+	}
+	if got := calls.Load(); got != 3 { // two 429s + success
+		t.Errorf("server calls = %d, want 3", got)
+	}
+	if u.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", u.Retries)
+	}
+	if len(*sizes) != 1 || (*sizes)[0] != 2 {
+		t.Errorf("server saw batches %v, want [2]", *sizes)
+	}
+	// Retry-After of 1s dominates the 100ms base; jitter adds at most 50%.
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v, want 2 waits", delays)
+	}
+	for i, d := range delays {
+		if d < time.Second || d > 1500*time.Millisecond {
+			t.Errorf("delay[%d] = %v, want within [1s, 1.5s] (Retry-After + jitter)", i, d)
+		}
+	}
+}
+
+// TestBatchUploaderBackoffGrows: without a server hint the exponential
+// base doubles per attempt, with up to 50% jitter on top.
+func TestBatchUploaderBackoffGrows(t *testing.T) {
+	srv, _, _ := batchServer(t, 3, "")
+	defer srv.Close()
+	var delays []time.Duration
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{
+		BatchSize: 1, BaseDelay: 100 * time.Millisecond,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	})
+	if _, err := u.Add(context.Background(), up(0)); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %d waits", delays, len(want))
+	}
+	for i, base := range want {
+		if delays[i] < base || delays[i] > base+base/2 {
+			t.Errorf("delay[%d] = %v, want within [%v, %v]", i, delays[i], base, base+base/2)
+		}
+	}
+}
+
+// TestBatchUploaderGivesUp: a persistently full queue bounds the retries,
+// keeps the buffer for a later flush, and surfaces the 429.
+func TestBatchUploaderGivesUp(t *testing.T) {
+	srv, _, calls := batchServer(t, 1000, "")
+	defer srv.Close()
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{
+		BatchSize: 2, MaxRetries: 2,
+		Sleep: func(context.Context, time.Duration) error { return nil },
+	})
+	if _, err := u.Add(context.Background(), up(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := u.Add(context.Background(), up(1))
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("err = %v, want a 429 failure", err)
+	}
+	if got := calls.Load(); got != 3 { // initial + 2 retries
+		t.Errorf("server calls = %d, want 3", got)
+	}
+	if u.Pending() != 2 {
+		t.Errorf("pending = %d, want the batch kept for a later flush", u.Pending())
+	}
+	// The threshold moved past the kept items: the next Add buffers
+	// without re-running a retry cycle against the saturated server...
+	if _, err := u.Add(context.Background(), up(2)); err != nil {
+		t.Fatalf("Add below the raised threshold flushed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server calls after quiet Add = %d, want still 3", got)
+	}
+	// ...and a full BatchSize of fresh data tries again.
+	if _, err := u.Add(context.Background(), up(3)); err == nil {
+		t.Fatal("expected the re-flush to surface the 429")
+	}
+	if got := calls.Load(); got != 6 {
+		t.Errorf("server calls after re-flush = %d, want 6", got)
+	}
+}
+
+// TestBatchUploaderKeepsTransientFailures: items the server marked
+// "failed" (storage/journal hiccup) stay buffered and land on the next
+// flush; settled items do not.
+func TestBatchUploaderKeepsTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var batch transport.UploadBatch
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			t.Error(err)
+		}
+		var resp transport.UploadBatchResponse
+		if calls.Add(1) == 1 {
+			// First flush: accept [0], fail [1] transiently.
+			resp = transport.UploadBatchResponse{Accepted: 1, Rejected: 1, Results: []transport.UploadResult{
+				{Index: 0, Code: transport.UploadOK},
+				{Index: 1, Code: transport.UploadFailed, Error: "hive: journal sync: disk full"},
+			}}
+		} else {
+			if len(batch.Uploads) != 1 || batch.Uploads[0].DeviceID != "d1" {
+				t.Errorf("retry flush carried %+v, want just the failed item d1", batch.Uploads)
+			}
+			resp = transport.UploadBatchResponse{Accepted: len(batch.Uploads)}
+			for i := range batch.Uploads {
+				resp.Results = append(resp.Results, transport.UploadResult{Index: i, Code: transport.UploadOK})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	defer srv.Close()
+
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{BatchSize: 2})
+	ctx := context.Background()
+	if _, err := u.Add(ctx, up(0)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := u.Add(ctx, up(1)) // threshold: flush [d0, d1]
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || u.Pending() != 1 {
+		t.Fatalf("after partial failure: accepted=%d pending=%d, want 1/1", resp.Accepted, u.Pending())
+	}
+	resp, err = u.Flush(ctx)
+	if err != nil || resp.Accepted != 1 {
+		t.Fatalf("retry flush = %+v, %v", resp, err)
+	}
+	if u.Pending() != 0 {
+		t.Errorf("pending after retry = %d, want 0", u.Pending())
+	}
+}
+
+// TestBatchUploaderSickServerBoundedFlushes: when every flush reports all
+// items transiently failed, the uploader re-tries only once per BatchSize
+// of fresh data (not on every Add) and sheds oldest-first at MaxBuffered
+// instead of growing without bound.
+func TestBatchUploaderSickServerBoundedFlushes(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		var batch transport.UploadBatch
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			t.Error(err)
+		}
+		resp := transport.UploadBatchResponse{Rejected: len(batch.Uploads)}
+		for i := range batch.Uploads {
+			resp.Results = append(resp.Results, transport.UploadResult{
+				Index: i, Code: transport.UploadFailed, Error: "journal down",
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	defer srv.Close()
+
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{BatchSize: 2, MaxBuffered: 6})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := u.Add(ctx, up(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Adds 1-6: flush at 2 (kept 2, next threshold 4), flush at 4 (kept 4,
+	// threshold 6), flush at 6 — one flush per BatchSize of fresh data.
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server calls after 6 adds = %d, want 3 (one per BatchSize of fresh data)", got)
+	}
+	if u.Pending() != 6 {
+		t.Errorf("pending = %d, want 6 kept", u.Pending())
+	}
+	// The buffer is at MaxBuffered: further adds shed oldest-first.
+	if _, err := u.Add(ctx, up(7)); err != nil {
+		t.Fatal(err)
+	}
+	if u.Pending() != 6 || u.Dropped != 1 {
+		t.Errorf("pending/dropped = %d/%d, want 6/1 (oldest shed at the cap)", u.Pending(), u.Dropped)
+	}
+}
+
+// TestBatchUploaderSemanticRejectionNotRetried: per-item rejections are not
+// backpressure — the flush succeeds, the buffer clears, and the response
+// carries the verdicts.
+func TestBatchUploaderSemanticRejectionNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		resp := transport.UploadBatchResponse{
+			Rejected: 1,
+			Results:  []transport.UploadResult{{Index: 0, Code: transport.UploadUnknownTask, Error: "unknown task"}},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	defer srv.Close()
+	u := NewBatchUploader(transport.NewClient(srv.URL), UploaderConfig{BatchSize: 1})
+	resp, err := u.Add(context.Background(), up(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rejected != 1 || resp.Results[0].Code != transport.UploadUnknownTask {
+		t.Errorf("response = %+v", resp)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server calls = %d, want 1 (no retry on semantic rejection)", calls.Load())
+	}
+	if u.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", u.Pending())
+	}
+}

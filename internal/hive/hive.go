@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"apisense/internal/geo"
+	"apisense/internal/ingest"
 	"apisense/internal/transport"
 )
 
@@ -49,6 +50,12 @@ type Hive struct {
 	uploadCap   int // per-task; <= 0 means unlimited
 	nextTaskID  int
 	journal     *Journal // optional durability, see journal.go
+
+	// ingestMu serialises whole upload group commits (admit + journal +
+	// fsync) with each other, so h.mu — which every fleet task poll and
+	// stats read contends on — is held only for the in-memory admission,
+	// never across a disk sync. Lock order: ingestMu before mu.
+	ingestMu sync.Mutex
 }
 
 // New creates an empty Hive with the default per-task upload cap.
@@ -78,23 +85,32 @@ func (h *Hive) RegisterDevice(info transport.DeviceInfo) error {
 		return fmt.Errorf("hive: device id and user are required")
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.devices[info.ID] = info
-	return h.logEvent(event{Kind: evRegister, Device: &info})
+	j, err := h.logEvent(event{Kind: evRegister, Device: &info})
+	h.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return commitJournal(j)
 }
 
 // UnregisterDevice removes a device; pending assignments are dropped.
 func (h *Hive) UnregisterDevice(id string) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if _, ok := h.devices[id]; !ok {
+		h.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownDevice, id)
 	}
 	delete(h.devices, id)
 	for _, set := range h.assignments {
 		delete(set, id)
 	}
-	return h.logEvent(event{Kind: evUnregister, DeviceID: id})
+	j, err := h.logEvent(event{Kind: evUnregister, DeviceID: id})
+	h.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return commitJournal(j)
 }
 
 // Devices returns the registered devices, sorted by ID.
@@ -138,7 +154,6 @@ func (h *Hive) PublishTask(spec transport.TaskSpec) (transport.TaskSpec, []strin
 		return transport.TaskSpec{}, nil, err
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.nextTaskID++
 	spec.ID = fmt.Sprintf("task-%04d", h.nextTaskID)
 
@@ -151,12 +166,18 @@ func (h *Hive) PublishTask(spec transport.TaskSpec) (transport.TaskSpec, []strin
 		}
 	}
 	if len(ids) == 0 {
+		h.mu.Unlock()
 		return transport.TaskSpec{}, nil, fmt.Errorf("%w: %s", ErrNoQualifyingDevices, spec.Name)
 	}
 	sort.Strings(ids)
 	h.tasks[spec.ID] = spec
 	h.assignments[spec.ID] = recruited
-	if err := h.logEvent(event{Kind: evPublish, Task: &spec, Recruited: ids}); err != nil {
+	j, err := h.logEvent(event{Kind: evPublish, Task: &spec, Recruited: ids})
+	h.mu.Unlock()
+	if err != nil {
+		return transport.TaskSpec{}, nil, err
+	}
+	if err := commitJournal(j); err != nil {
 		return transport.TaskSpec{}, nil, err
 	}
 	return spec, ids, nil
@@ -191,10 +212,72 @@ func (h *Hive) TasksFor(deviceID string) ([]transport.TaskSpec, error) {
 	return out, nil
 }
 
-// SubmitUpload ingests a dataset batch from a device.
+// SubmitUpload ingests a dataset batch from a device. It is a thin wrapper
+// over a batch of one, so it shares the validation and group-commit path of
+// SubmitBatch.
 func (h *Hive) SubmitUpload(u transport.Upload) error {
+	return h.SubmitBatch([]transport.Upload{u})[0]
+}
+
+// SubmitBatch validates and admits a batch of uploads under one lock
+// acquisition and journals every accepted one as a single group commit —
+// one fsync per batch instead of one per upload. Admission is per item, not
+// all-or-nothing: the returned slice has one entry per upload, nil meaning
+// accepted. This is the sink the ingest queue's drain workers feed.
+//
+// If the group commit itself fails, the admitted uploads are rolled back
+// from the in-memory store and reported failed, so memory never claims
+// more than the caller was told. A partially persisted group may still
+// replay after a crash — the failure edge is at-least-once, like any WAL.
+// Conversely, concurrent readers may briefly observe admitted uploads
+// whose sync is still in flight; the caller is only acknowledged after it.
+func (h *Hive) SubmitBatch(ups []transport.Upload) []error {
+	errs := make([]error, len(ups))
+	if len(ups) == 0 {
+		return errs
+	}
+	// One group commit at a time: admission, journal write and fsync are
+	// serialised here, NOT under h.mu — readers only contend with the
+	// short in-memory section below. The exclusivity also keeps the
+	// rollback simple: no other batch can interleave, so every admitted
+	// upload is still the tail of its task's slice if the commit fails.
+	h.ingestMu.Lock()
+	defer h.ingestMu.Unlock()
+
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	events := make([]event, 0, len(ups))
+	admitted := make([]int, 0, len(ups))
+	for i := range ups {
+		if err := h.admitUpload(ups[i]); err != nil {
+			errs[i] = err
+			continue
+		}
+		events = append(events, event{Kind: evUpload, Upload: &ups[i]})
+		admitted = append(admitted, i)
+	}
+	journal := h.journal
+	h.mu.Unlock()
+
+	if journal != nil && len(events) > 0 {
+		if err := journal.appendBatch(events); err != nil {
+			// Roll back newest-first: each admitted upload is the current
+			// tail of its task's slice (guaranteed by ingestMu).
+			h.mu.Lock()
+			for k := len(admitted) - 1; k >= 0; k-- {
+				i := admitted[k]
+				task := ups[i].TaskID
+				h.uploads[task] = h.uploads[task][:len(h.uploads[task])-1]
+				errs[i] = err
+			}
+			h.mu.Unlock()
+		}
+	}
+	return errs
+}
+
+// admitUpload validates one upload and appends it to the in-memory store.
+// Called with h.mu held; journaling is the caller's group commit.
+func (h *Hive) admitUpload(u transport.Upload) error {
 	if _, ok := h.tasks[u.TaskID]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownTask, u.TaskID)
 	}
@@ -208,7 +291,7 @@ func (h *Hive) SubmitUpload(u transport.Upload) error {
 		return fmt.Errorf("%w: task %s already holds %d uploads", ErrUploadLimit, u.TaskID, len(h.uploads[u.TaskID]))
 	}
 	h.uploads[u.TaskID] = append(h.uploads[u.TaskID], u)
-	return h.logEvent(event{Kind: evUpload, Upload: &u})
+	return nil
 }
 
 // Uploads returns the ingested uploads of a task, in arrival order.
@@ -221,12 +304,19 @@ func (h *Hive) Uploads(taskID string) ([]transport.Upload, error) {
 	return append([]transport.Upload(nil), h.uploads[taskID]...), nil
 }
 
-// Stats summarises the Hive state.
+// IngestStats are the streaming-ingestion gauges of an attached queue
+// (queue depth, accepted/rejected/dropped counters, group commits).
+type IngestStats = ingest.Stats
+
+// Stats summarises the Hive state. Ingest is populated by the HTTP layer
+// when the server runs with an ingest queue (see WithIngestQueue).
 type Stats struct {
 	Devices int `json:"devices"`
 	Tasks   int `json:"tasks"`
 	Uploads int `json:"uploads"`
 	Records int `json:"records"`
+	// Ingest snapshots the ingest queue, when one is wired in.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 }
 
 // Stats returns current platform statistics.

@@ -16,10 +16,19 @@ import (
 // a Hive it records every successful registration, unregistration, task
 // publication and upload; Recover replays a journal file into a fresh Hive,
 // making the cmd/hive service restart-safe without a database.
+//
+// Durability is group-committed: every append call — whether it carries one
+// event or a whole drained ingest batch — is one commit boundary, and the
+// file is fsynced once every SyncEvery boundaries (default every boundary).
+// Batching uploads therefore amortises the fsync over the batch instead of
+// paying it per upload.
 type Journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	enc *json.Encoder
+	mu        sync.Mutex
+	f         *os.File
+	enc       *json.Encoder
+	syncEvery int    // commit boundaries between fsyncs; <= 0 disables fsync
+	pending   int    // boundaries since the last fsync
+	syncs     uint64 // fsyncs performed, for stats and tests
 }
 
 // event is one journal entry. Exactly one payload field is set, selected by
@@ -47,23 +56,87 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hive: open journal %s: %w", path, err)
 	}
-	return &Journal{f: f, enc: json.NewEncoder(f)}, nil
+	return &Journal{f: f, enc: json.NewEncoder(f), syncEvery: 1}, nil
 }
 
-// append writes one event.
-func (j *Journal) append(e event) error {
+// SetSyncEvery tunes the group-commit durability knob: the file is fsynced
+// once every n commit boundaries (append calls). n = 1 — the default —
+// syncs every boundary; larger n trades a bounded window of recent commits
+// for throughput; n <= 0 disables fsync entirely, leaving flushes to the
+// OS (Close still syncs).
+func (j *Journal) SetSyncEvery(n int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.enc.Encode(e); err != nil {
-		return fmt.Errorf("hive: journal append: %w", err)
+	j.syncEvery = n
+}
+
+// Syncs reports how many fsyncs the journal has performed — the
+// group-commit effectiveness gauge: uploads ingested per sync is the
+// amortisation factor.
+func (j *Journal) Syncs() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncs
+}
+
+// appendBatch writes a group of events as one commit boundary: all events
+// are encoded, then the boundary is fsynced (subject to SyncEvery). This is
+// the group-commit path of the ingest queue — one sync per drained batch
+// instead of one per upload.
+func (j *Journal) appendBatch(events []event) error {
+	if err := j.appendEvents(events); err != nil {
+		return err
+	}
+	return j.commit()
+}
+
+// appendEvents encodes events WITHOUT advancing the commit boundary — the
+// encode half of a group commit. The Hive's registry mutators call it while
+// holding h.mu (so journal order matches mutation order) and fsync via
+// commit after releasing the lock, keeping readers off the disk-sync path.
+func (j *Journal) appendEvents(events []event) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range events {
+		if err := j.enc.Encode(events[i]); err != nil {
+			return fmt.Errorf("hive: journal append: %w", err)
+		}
 	}
 	return nil
 }
 
-// Close releases the journal file.
+// commit advances the group-commit boundary (fsync per SyncEvery).
+func (j *Journal) commit() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.commitLocked()
+}
+
+// commitLocked advances the group-commit boundary, syncing per SyncEvery.
+// Callers hold j.mu.
+func (j *Journal) commitLocked() error {
+	if j.syncEvery <= 0 {
+		return nil
+	}
+	j.pending++
+	if j.pending < j.syncEvery {
+		return nil
+	}
+	j.pending = 0
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("hive: journal sync: %w", err)
+	}
+	j.syncs++
+	return nil
+}
+
+// Close syncs outstanding commits and releases the journal file.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("hive: close journal: %w", err)
+	}
 	if err := j.f.Close(); err != nil {
 		return fmt.Errorf("hive: close journal: %w", err)
 	}
@@ -78,12 +151,24 @@ func (h *Hive) AttachJournal(j *Journal) {
 	h.journal = j
 }
 
-// logEvent writes e to the attached journal, if any. Called with h.mu held.
-func (h *Hive) logEvent(e event) error {
+// logEvent encodes e to the attached journal, if any, WITHOUT syncing.
+// Called with h.mu held so journal order matches mutation order; the
+// caller must fsync via commitJournal after releasing h.mu, keeping the
+// disk sync off the lock every reader contends on.
+func (h *Hive) logEvent(e event) (*Journal, error) {
 	if h.journal == nil {
+		return nil, nil
+	}
+	return h.journal, h.journal.appendEvents([]event{e})
+}
+
+// commitJournal advances the commit boundary of a journal returned by
+// logEvent (nil-safe). Called without h.mu held.
+func commitJournal(j *Journal) error {
+	if j == nil {
 		return nil
 	}
-	return h.journal.append(e)
+	return j.commit()
 }
 
 // Recover replays the journal at path into a fresh Hive and reopens the

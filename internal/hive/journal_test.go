@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -108,6 +109,108 @@ func TestRecoverRejectsCorruptJournal(t *testing.T) {
 	}
 	if _, _, err := Recover(unknown); err == nil {
 		t.Error("unknown event kind should fail recovery")
+	}
+}
+
+// TestJournalGroupCommitSync: every append call is one commit boundary —
+// a batch of uploads costs one fsync, not one per upload — and SyncEvery
+// widens the boundary further (0 disables, Close still syncs).
+func TestJournalGroupCommitSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.journal")
+	h, j, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	must(t, h.RegisterDevice(deviceInfo("d1", "alice", 45.7, 4.8)))
+	spec, _, err := h.PublishTask(taskSpec("sync"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := j.Syncs()
+	if base == 0 {
+		t.Fatal("register + publish performed no fsync")
+	}
+
+	// One batch of 10 uploads = one group commit = one fsync.
+	ups := make([]transport.Upload, 10)
+	for i := range ups {
+		ups[i] = transport.Upload{TaskID: spec.ID, DeviceID: "d1"}
+	}
+	for _, err := range h.SubmitBatch(ups) {
+		must(t, err)
+	}
+	if got := j.Syncs(); got != base+1 {
+		t.Errorf("syncs after batch = %d, want %d (one group commit)", got, base+1)
+	}
+
+	// Single uploads sync every boundary...
+	must(t, h.SubmitUpload(transport.Upload{TaskID: spec.ID, DeviceID: "d1"}))
+	if got := j.Syncs(); got != base+2 {
+		t.Errorf("syncs after single upload = %d, want %d", got, base+2)
+	}
+
+	// ...unless SyncEvery widens the boundary.
+	j.SetSyncEvery(3)
+	for i := 0; i < 2; i++ {
+		must(t, h.SubmitUpload(transport.Upload{TaskID: spec.ID, DeviceID: "d1"}))
+	}
+	if got := j.Syncs(); got != base+2 {
+		t.Errorf("syncs mid-window = %d, want %d (SyncEvery=3 not reached)", got, base+2)
+	}
+	must(t, h.SubmitUpload(transport.Upload{TaskID: spec.ID, DeviceID: "d1"}))
+	if got := j.Syncs(); got != base+3 {
+		t.Errorf("syncs at window boundary = %d, want %d", got, base+3)
+	}
+
+	// SyncEvery(0) disables periodic fsync entirely.
+	j.SetSyncEvery(0)
+	for i := 0; i < 5; i++ {
+		must(t, h.SubmitUpload(transport.Upload{TaskID: spec.ID, DeviceID: "d1"}))
+	}
+	if got := j.Syncs(); got != base+3 {
+		t.Errorf("syncs with SyncEvery=0 = %d, want %d", got, base+3)
+	}
+}
+
+// TestSubmitBatchJournalFailureRollsBack: when the group commit cannot be
+// written, the admitted uploads are rolled back from memory and every
+// admitted item reports the failure — the store never claims more than
+// the caller was told.
+func TestSubmitBatchJournalFailureRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.journal")
+	h, j, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, h.RegisterDevice(deviceInfo("d1", "alice", 45.7, 4.8)))
+	spec, _, err := h.PublishTask(taskSpec("rollback"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, h.SubmitUpload(transport.Upload{TaskID: spec.ID, DeviceID: "d1"}))
+	// Break the journal: every further write fails.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := h.SubmitBatch([]transport.Upload{
+		{TaskID: spec.ID, DeviceID: "d1"},
+		{TaskID: "task-9999", DeviceID: "d1"}, // rejected before the commit
+		{TaskID: spec.ID, DeviceID: "d1"},
+	})
+	if errs[0] == nil || errs[2] == nil {
+		t.Errorf("admitted items must report the journal failure: %v", errs)
+	}
+	if !errors.Is(errs[1], ErrUnknownTask) {
+		t.Errorf("errs[1] = %v, want ErrUnknownTask", errs[1])
+	}
+	ups, err := h.Uploads(spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1 {
+		t.Errorf("store holds %d uploads after failed commit, want 1 (rolled back)", len(ups))
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"apisense/internal/ingest"
 	"apisense/internal/transport"
 )
 
@@ -18,18 +20,38 @@ import (
 //	POST   /api/tasks                 publish a task (returns spec + recruits)
 //	GET    /api/tasks/{id}            fetch a task
 //	GET    /api/tasks/{id}/uploads    collected uploads
-//	POST   /api/uploads               submit an upload
+//	POST   /api/uploads               submit one upload
+//	POST   /api/uploads/batch         submit a batch (per-item results)
 //	GET    /api/stats                 platform statistics
+//
+// With WithIngestQueue both upload routes go through the bounded ingest
+// queue: a full queue answers 429 Too Many Requests with a Retry-After
+// header instead of admitting unbounded work.
 type Server struct {
-	hive *Hive
-	mux  *http.ServeMux
+	hive  *Hive
+	queue *ingest.Queue // nil = synchronous ingestion
+	mux   *http.ServeMux
 }
 
 var _ http.Handler = (*Server)(nil)
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithIngestQueue routes POST /api/uploads and /api/uploads/batch through
+// q, adding backpressure (429 + Retry-After when full) and group-commit
+// draining; /api/stats grows the queue gauges. The caller owns q's
+// lifecycle (Close on shutdown, after the HTTP server stops).
+func WithIngestQueue(q *ingest.Queue) ServerOption {
+	return func(s *Server) { s.queue = q }
+}
+
 // NewServer wraps a Hive with its HTTP API.
-func NewServer(h *Hive) *Server {
+func NewServer(h *Hive, opts ...ServerOption) *Server {
 	s := &Server{hive: h, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /api/devices", s.handleRegister)
 	s.mux.HandleFunc("GET /api/devices", s.handleListDevices)
 	s.mux.HandleFunc("DELETE /api/devices/{id}", s.handleUnregister)
@@ -38,6 +60,7 @@ func NewServer(h *Hive) *Server {
 	s.mux.HandleFunc("GET /api/tasks/{id}", s.handleGetTask)
 	s.mux.HandleFunc("GET /api/tasks/{id}/uploads", s.handleUploadsOf)
 	s.mux.HandleFunc("POST /api/uploads", s.handleSubmitUpload)
+	s.mux.HandleFunc("POST /api/uploads/batch", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	return s
 }
@@ -62,6 +85,12 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrUploadLimit):
 		code = http.StatusTooManyRequests
+	case errors.Is(err, ingest.ErrBatchTooLarge):
+		// Could never be admitted — the client must split the batch.
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ingest.ErrClosed):
+		// Shutdown drain: intake is over for this process.
+		code = http.StatusServiceUnavailable
 	default:
 		code = http.StatusBadRequest
 	}
@@ -160,13 +189,104 @@ func (s *Server) handleSubmitUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.hive.SubmitUpload(u); err != nil {
+	var err error
+	if s.queue != nil {
+		var errs []error
+		errs, err = s.queue.Submit(r.Context(), []transport.Upload{u})
+		if err == nil {
+			err = errs[0]
+		}
+	} else {
+		err = s.hive.SubmitUpload(u)
+	}
+	if errors.Is(err, ingest.ErrQueueFull) {
+		s.writeQueueFull(w, err)
+		return
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
 }
 
+// handleSubmitBatch ingests an UploadBatch. Admission is per item — the
+// response always carries one result per upload — except when the ingest
+// queue is saturated, which rejects the whole batch with 429 and a
+// Retry-After hint before any work is done.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var batch transport.UploadBatch
+	if err := decode(r, &batch); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(batch.Uploads) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "hive: empty upload batch"})
+		return
+	}
+	var errs []error
+	if s.queue != nil {
+		var err error
+		errs, err = s.queue.Submit(r.Context(), batch.Uploads)
+		if errors.Is(err, ingest.ErrQueueFull) {
+			s.writeQueueFull(w, err)
+			return
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		errs = s.hive.SubmitBatch(batch.Uploads)
+	}
+	resp := transport.UploadBatchResponse{Results: make([]transport.UploadResult, len(errs))}
+	for i, err := range errs {
+		res := transport.UploadResult{Index: i, Code: uploadResultCode(err)}
+		if err != nil {
+			res.Error = err.Error()
+			resp.Rejected++
+		} else {
+			resp.Accepted++
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// uploadResultCode maps a per-item admission error to its wire code.
+func uploadResultCode(err error) string {
+	switch {
+	case err == nil:
+		return transport.UploadOK
+	case errors.Is(err, ErrUnknownTask):
+		return transport.UploadUnknownTask
+	case errors.Is(err, ErrUnknownDevice):
+		return transport.UploadUnknownDevice
+	case errors.Is(err, ErrNotAssigned):
+		return transport.UploadNotAssigned
+	case errors.Is(err, ErrUploadLimit):
+		return transport.UploadLimit
+	default:
+		return transport.UploadFailed
+	}
+}
+
+// writeQueueFull answers backpressure: 429 with the queue's Retry-After
+// hint so producers know when to resubmit.
+func (s *Server) writeQueueFull(w http.ResponseWriter, err error) {
+	secs := int(s.queue.RetryAfter().Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.hive.Stats())
+	st := s.hive.Stats()
+	if s.queue != nil {
+		qs := s.queue.Stats()
+		st.Ingest = &qs
+	}
+	writeJSON(w, http.StatusOK, st)
 }

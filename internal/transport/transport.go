@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -91,6 +92,40 @@ type Upload struct {
 	Logs     []string       `json:"logs,omitempty"`
 }
 
+// UploadBatch is the wire form of POST /api/uploads/batch: several uploads
+// (possibly from several tasks and devices, e.g. a gateway flushing a
+// buffer) submitted in one request and admitted through the Hive's ingest
+// queue as one group commit.
+type UploadBatch struct {
+	Uploads []Upload `json:"uploads"`
+}
+
+// Per-item result codes of a batch submission. A batch is not
+// all-or-nothing: each upload is admitted or rejected on its own.
+const (
+	UploadOK            = "ok"             // admitted and journaled
+	UploadUnknownTask   = "unknown_task"   // no such task
+	UploadUnknownDevice = "unknown_device" // no such device
+	UploadNotAssigned   = "not_assigned"   // device not recruited for the task
+	UploadLimit         = "limit"          // task reached its upload cap
+	UploadFailed        = "failed"         // storage/journal error
+)
+
+// UploadResult is the outcome of one upload inside a batch. Index refers to
+// the position in the submitted UploadBatch.Uploads slice.
+type UploadResult struct {
+	Index int    `json:"index"`
+	Code  string `json:"code"`
+	Error string `json:"error,omitempty"`
+}
+
+// UploadBatchResponse is the per-item answer to an UploadBatch.
+type UploadBatchResponse struct {
+	Accepted int            `json:"accepted"`
+	Rejected int            `json:"rejected"`
+	Results  []UploadResult `json:"results"`
+}
+
 // Client is a JSON-over-HTTP client with bounded retries.
 type Client struct {
 	base    string
@@ -112,11 +147,28 @@ func NewClient(baseURL string) *Client {
 type ErrStatus struct {
 	Code int
 	Body string
+	// RetryAfter is the server's Retry-After hint (zero when absent) —
+	// set on 429 responses from a backpressured ingest queue.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *ErrStatus) Error() string {
 	return fmt.Sprintf("transport: http %d: %s", e.Code, e.Body)
+}
+
+// parseRetryAfter interprets the delay-seconds form of a Retry-After
+// header. The HTTP-date form (and garbage) yields zero: callers fall back
+// to their own backoff.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Do performs a JSON request. in may be nil (no body); out may be nil
@@ -163,7 +215,11 @@ func (c *Client) Do(ctx context.Context, method, path string, in, out any) error
 			continue
 		}
 		if resp.StatusCode >= 300 {
-			return &ErrStatus{Code: resp.StatusCode, Body: string(data)}
+			return &ErrStatus{
+				Code:       resp.StatusCode,
+				Body:       string(data),
+				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
 		}
 		if out != nil {
 			if err := json.Unmarshal(data, out); err != nil {

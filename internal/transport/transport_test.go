@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestTaskSpecValidate(t *testing.T) {
@@ -93,6 +94,42 @@ func TestClientDoesNotRetry4xx(t *testing.T) {
 	}
 	if status.Error() == "" {
 		t.Error("empty error string")
+	}
+}
+
+// TestClientRetryAfterHint: a 429 carries the server's Retry-After hint on
+// the typed error (delay-seconds form; garbage and HTTP-dates degrade to
+// zero), so upload batchers can honour the queue's backpressure pacing.
+func TestClientRetryAfterHint(t *testing.T) {
+	tests := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"seconds", "7", 7 * time.Second},
+		{"absent", "", 0},
+		{"http date", "Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"garbage", "soon", 0},
+		{"negative", "-3", 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.header != "" {
+					w.Header().Set("Retry-After", tc.header)
+				}
+				http.Error(w, "full", http.StatusTooManyRequests)
+			}))
+			defer srv.Close()
+			err := NewClient(srv.URL).Do(context.Background(), http.MethodPost, "/x", map[string]int{}, nil)
+			var status *ErrStatus
+			if !errors.As(err, &status) || status.Code != http.StatusTooManyRequests {
+				t.Fatalf("err = %v, want ErrStatus 429", err)
+			}
+			if status.RetryAfter != tc.want {
+				t.Errorf("RetryAfter = %v, want %v", status.RetryAfter, tc.want)
+			}
+		})
 	}
 }
 
