@@ -1,0 +1,41 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check` locally means a green
+# pipeline short of the pinned external tools (staticcheck, govulncheck).
+
+GO ?= go
+
+# Benchmarks whose ns/op are tracked against BENCH_baseline.json.
+TRACKED_BENCH := BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkIngestBatch
+
+.PHONY: all build lint test race check bench-refresh fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# lint = formatting, go vet, and the project's own analysis suite
+# (cmd/apisenselint: lockfsync, detrange, ctxflow, errcode, detseed).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/apisenselint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build lint test
+
+# bench-refresh reruns the tracked benchmarks and rewrites
+# BENCH_baseline.json in place. Run on a quiet machine; commit the result
+# together with the change that moved the numbers.
+bench-refresh:
+	$(GO) test -bench '$(TRACKED_BENCH)' -benchtime=2x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -update BENCH_baseline.json
+
+fmt:
+	gofmt -w .

@@ -68,6 +68,88 @@ func TestRunRoundTripAndDelta(t *testing.T) {
 	}
 }
 
+func TestParseRejectsMalformedNumbers(t *testing.T) {
+	// An iteration count too big for int, and an ns/op that is not a
+	// number: both must fail loudly instead of producing a bogus baseline.
+	cases := []string{
+		"BenchmarkOverflow-8 \t 99999999999999999999 \t 100 ns/op\n",
+		"BenchmarkBadNs-8 \t 2 \t 1.2.3 ns/op\n",
+	}
+	for _, c := range cases {
+		if _, err := parse(strings.NewReader(c)); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestRunMissingBaseline(t *testing.T) {
+	var out, diag bytes.Buffer
+	err := run(strings.NewReader(sample), &out, &diag, filepath.Join(t.TempDir(), "absent.json"), "")
+	if err == nil || !strings.Contains(err.Error(), "read baseline") {
+		t.Errorf("missing baseline error = %v", err)
+	}
+}
+
+func TestRunMalformedBaseline(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(baseline, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, diag bytes.Buffer
+	err := run(strings.NewReader(sample), &out, &diag, baseline, "")
+	if err == nil || !strings.Contains(err.Error(), "parse baseline") {
+		t.Errorf("malformed baseline error = %v", err)
+	}
+}
+
+func TestDeltaMarksNewBenchmarks(t *testing.T) {
+	// A benchmark missing from the baseline — or present with a zero
+	// ns/op that would divide by zero — shows as "new", not as a ratio.
+	base := Document{Benchmarks: []Result{
+		{Name: "BenchmarkOld-8", Iterations: 2, NsPerOp: 100},
+		{Name: "BenchmarkZero-8", Iterations: 2, NsPerOp: 0},
+	}}
+	cur := Document{Benchmarks: []Result{
+		{Name: "BenchmarkOld-8", Iterations: 2, NsPerOp: 150},
+		{Name: "BenchmarkZero-8", Iterations: 2, NsPerOp: 50},
+		{Name: "BenchmarkFresh-8", Iterations: 2, NsPerOp: 70},
+	}}
+	var buf bytes.Buffer
+	delta(&buf, base, cur)
+	report := buf.String()
+	if !strings.Contains(report, "+50.0%") {
+		t.Errorf("expected +50.0%% row for BenchmarkOld:\n%s", report)
+	}
+	if got := strings.Count(report, "new"); got != 2 {
+		t.Errorf("expected 2 'new' rows (fresh + zero-baseline), got %d:\n%s", got, report)
+	}
+}
+
+func TestRunUpdateOverwritesBaseline(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	if err := os.WriteFile(baseline, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, &diag, "", baseline); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("updated baseline is not JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Errorf("updated baseline has %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	if !strings.Contains(diag.String(), "wrote "+baseline) {
+		t.Errorf("diag missing write notice: %s", diag.String())
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out, diag bytes.Buffer
 	if err := run(strings.NewReader("no benchmarks here\n"), &out, &diag, "", ""); err == nil {

@@ -1,0 +1,175 @@
+// Package analysis is a self-contained, standard-library-only analogue of
+// golang.org/x/tools/go/analysis, sized for this repository's own linters
+// (see cmd/apisenselint). The container this project builds in has no
+// module proxy access, so instead of vendoring x/tools the package mirrors
+// the parts of its API the suite needs: an Analyzer value with a Run
+// function over a type-checked Pass, Diagnostics with positions, and a
+// driver-side suppression facility.
+//
+// Suppression: a finding may be silenced with a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either at the end of the flagged line or on the line directly
+// above it. The reason is mandatory — an allow without a justification is
+// itself reported — so every suppression documents why the invariant does
+// not apply at that site.
+//
+// Analyzer-specific source directives (e.g. lockfsync's //lint:allowsync
+// and //lint:lockorder) share the //lint: namespace and are parsed with
+// Directives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces (shown by `apisenselint -help`).
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf. Returning an error aborts the whole lint run —
+	// reserve it for internal failures, not findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// findings with //lint:allow suppressions already applied. Suppressed
+// findings are dropped; malformed allow comments (missing reason) are
+// returned as findings of the pseudo-analyzer "lintdirective".
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	return applyAllows(a.Name, pkg, pass.diags), nil
+}
+
+// allow is one parsed //lint:allow comment.
+type allow struct {
+	analyzer string
+	reason   string
+}
+
+// applyAllows filters diags through the package's //lint:allow comments.
+func applyAllows(name string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> allows on that line.
+	allows := make(map[string]map[int][]allow)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range Directives(f, pkg.Fset) {
+			if d.Name != "allow" {
+				continue
+			}
+			fields := strings.Fields(d.Args)
+			pos := pkg.Fset.Position(d.Pos)
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Pos:      d.Pos,
+					Message:  "malformed //lint:allow: need `//lint:allow <analyzer> <reason>` — a suppression must say why",
+					Analyzer: "lintdirective",
+				})
+				continue
+			}
+			byLine := allows[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]allow)
+				allows[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], allow{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+			})
+		}
+	}
+
+	out := malformed
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if allowed(allows[pos.Filename], pos.Line, name) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// allowed reports whether an allow for analyzer sits on line or line-1.
+func allowed(byLine map[int][]allow, line int, analyzer string) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, a := range byLine[l] {
+			if a.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Directive is one parsed //lint:<name> <args> comment.
+type Directive struct {
+	Pos  token.Pos
+	Name string // e.g. "allow", "allowsync", "lockorder"
+	Args string // remainder of the comment, trimmed
+}
+
+// Directives extracts every //lint: directive of a file, in source order.
+func Directives(f *ast.File, fset *token.FileSet) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			name, args, _ := strings.Cut(text, " ")
+			out = append(out, Directive{Pos: c.Pos(), Name: name, Args: strings.TrimSpace(args)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

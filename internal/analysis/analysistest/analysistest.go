@@ -1,0 +1,120 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against // want comments, mirroring the x/tools package of
+// the same name.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	badCall() // want "regexp matching the diagnostic"
+//
+// Several "..." patterns on one comment expect several findings on that
+// line. Lines without a want comment must produce no finding. Fixtures
+// live under testdata/src/<pkg>/ and may import the standard library
+// only, so they type-check without touching the module's own packages.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"apisense/internal/analysis"
+)
+
+// wantPattern extracts the quoted regexps of a // want comment.
+var wantPattern = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> and checks a's findings against the
+// fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	loader := analysis.NewLoader()
+	loaded, err := loader.Load(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, loaded)
+	diags, err := analysis.Run(a, loaded)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := loaded.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected finding: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+}
+
+// collectWants parses every // want comment of the fixture package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantPattern.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", filepath.Base(pos.Filename), pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", filepath.Base(pos.Filename), pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filepath.Base(pos.Filename), pos.Line, s, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cutWant strips the comment marker and "want" keyword.
+func cutWant(comment string) (string, bool) {
+	const marker = "// want "
+	if len(comment) > len(marker) && comment[:len(marker)] == marker {
+		return comment[len(marker):], true
+	}
+	return "", false
+}
+
+// claim marks the first unmatched want on (file, line) whose pattern
+// matches msg; it reports whether one was found.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.rx.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

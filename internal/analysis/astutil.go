@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFunc resolves a call to a package-level function accessed through an
+// import, returning the imported package's path and the function name.
+// Calls through locals, methods, and dot-imports return ok = false.
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// MethodFullName returns the types.Func.FullName of the method a call
+// invokes (e.g. "(*os.File).Sync"), or "" when the callee is not a
+// resolved method or function selector.
+func MethodFullName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// DeclaredOutside reports whether the object expr refers to was declared
+// outside the [from, to] node interval — e.g. an accumulator that outlives
+// a loop. Selector targets (struct fields) count as outside.
+func DeclaredOutside(info *types.Info, expr ast.Expr, from, to ast.Node) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < from.Pos() || obj.Pos() > to.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

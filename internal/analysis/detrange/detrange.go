@@ -1,0 +1,220 @@
+// Package detrange guards the byte-identical-report contract of the
+// evaluation engine: in the report and selection paths, nothing
+// order-sensitive may happen in Go's randomised map iteration order.
+// Float accumulation is the classic failure (addition is commutative but
+// not associative, so the sum's last bits depend on visit order); values
+// collected into a slice and printed or compared unsorted are the other.
+// The sanctioned idiom is the one internal/metrics.sumByDay uses: collect
+// the keys, sort them, then fold in sorted order.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"apisense/internal/analysis"
+)
+
+// Analyzer flags order-sensitive work inside range-over-map loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "No order-sensitive work in map iteration order: float accumulation, " +
+		"printing, and slices that escape unsorted out of a range-over-map all " +
+		"make reports differ between runs. Collect keys, sort, then fold " +
+		"(see internal/metrics.sumByDay).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange inspects one range-over-map body.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested ranges are visited by the outer walk; their own map
+			// check (if any) happens there. Order sensitivity inside them
+			// still matters for the outer map loop, so keep descending.
+			return true
+		case *ast.AssignStmt:
+			checkAssign(pass, fd, rs, n)
+		case *ast.CallExpr:
+			if pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, n); ok && pkg == "fmt" &&
+				(name == "Print" || name == "Println" || name == "Printf" ||
+					name == "Fprint" || name == "Fprintln" || name == "Fprintf") {
+				pass.Reportf(n.Pos(),
+					"printing inside a range over a map emits map iteration order; collect and sort first")
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags float accumulation and unsorted slice escapes.
+func checkAssign(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if isFloat(pass, lhs) && analysis.DeclaredOutside(pass.TypesInfo, lhs, rs, rs) &&
+			!keyedByRangeVar(pass, rs, lhs) {
+			pass.Reportf(as.Pos(),
+				"float accumulation in map iteration order is non-associative and therefore non-deterministic; sum over sorted keys")
+		}
+	case token.ASSIGN:
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			checkAppendEscape(pass, fd, rs, as.Lhs[i], rhs)
+			checkSelfAccum(pass, rs, as, as.Lhs[i], rhs)
+		}
+	}
+}
+
+// checkSelfAccum catches the spelled-out `x = x + v` float accumulation.
+func checkSelfAccum(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, lhs ast.Expr, rhs ast.Expr) {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) || !isFloat(pass, lhs) {
+		return
+	}
+	target := types.ExprString(lhs)
+	if types.ExprString(bin.X) == target && analysis.DeclaredOutside(pass.TypesInfo, lhs, rs, rs) &&
+		!keyedByRangeVar(pass, rs, lhs) {
+		pass.Reportf(as.Pos(),
+			"float accumulation in map iteration order is non-associative and therefore non-deterministic; sum over sorted keys")
+	}
+}
+
+// checkAppendEscape flags `s = append(s, ...)` onto a slice that outlives
+// the loop and is never sorted afterwards in the same function.
+func checkAppendEscape(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr, rhs ast.Expr) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+		return
+	}
+	target := types.ExprString(lhs)
+	if types.ExprString(call.Args[0]) != target {
+		return
+	}
+	if !analysis.DeclaredOutside(pass.TypesInfo, lhs, rs, rs) {
+		return
+	}
+	if sortedLater(pass, fd, rs, target) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"%s collects map-range values but is never sorted in %s; the slice escapes in map iteration order", target, fd.Name.Name)
+}
+
+// sortedLater reports whether target is passed to a sort/slices call
+// after the loop, anywhere in the enclosing function.
+func sortedLater(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() < rs.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, _, ok := analysis.PkgFunc(pass.TypesInfo, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			// Contains, not equality: sort.Sort(byWeight(flows)) still
+			// sorts flows.
+			if strings.Contains(types.ExprString(arg), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// keyedByRangeVar reports whether lhs is an index expression whose index
+// uses the loop's key variable. `m[k] /= total` inside `for k := range m`
+// touches a distinct element each iteration, so the update commutes with
+// the visit order and is deterministic.
+func keyedByRangeVar(pass *analysis.Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.ObjectOf(keyID)
+	if keyObj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == keyObj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// isFloat reports whether expr has floating-point (or complex) type.
+// Assignment LHS identifiers are not always in the Types map, so fall
+// back to the identifier's object.
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	var t types.Type
+	if tv, ok := pass.TypesInfo.Types[expr]; ok {
+		t = tv.Type
+	} else {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+				t = obj.Type()
+			}
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.ObjectOf(e.Sel); obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"apisense/internal/analysis/analysistest"
+	"apisense/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "detrange")
+}

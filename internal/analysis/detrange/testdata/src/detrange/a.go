@@ -1,0 +1,103 @@
+// Package detrange is the fixture for the detrange analyzer: nothing
+// order-sensitive may happen in map iteration order.
+package detrange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sumUnsorted accumulates floats in map order: the sum's last bits
+// depend on visit order.
+func sumUnsorted(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation in map iteration order"
+	}
+	return sum
+}
+
+// sumSpelledOut is the same bug without the compound operator.
+func sumSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation in map iteration order"
+	}
+	return total
+}
+
+// sumSorted is the sanctioned idiom: collect, sort, fold.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// escape lets map-ordered values leak out of the function.
+func escape(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "out collects map-range values"
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedEscape is fine: the slice is sorted before anyone sees it.
+func sortedEscape(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// show prints in map order.
+func show(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "printing inside a range over a map"
+	}
+}
+
+// normalise updates each entry in place, keyed by the loop variable:
+// every iteration touches a distinct element, so order is irrelevant.
+func normalise(m map[string]float64, total float64) {
+	for k := range m {
+		m[k] /= total
+	}
+}
+
+// count is commutative integer work: allowed.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// build is map-to-map: allowed.
+func build(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// tolerance documents why order does not matter at this site.
+func tolerance(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:allow detrange debug-only estimate, never lands in a report
+		sum += v
+	}
+	return sum
+}

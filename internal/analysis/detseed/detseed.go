@@ -1,0 +1,87 @@
+// Package detseed guards the engine's reproducibility contract: every
+// random draw in simulation, mobility-generation and attack paths must
+// come from an injectable, explicitly seeded source. The process-global
+// math/rand source (unseedable per run in v2, commonly wall-clock seeded
+// in v1) makes experiment tables and privacy evaluations unrepeatable.
+package detseed
+
+import (
+	"go/ast"
+	"strings"
+
+	"apisense/internal/analysis"
+)
+
+// Analyzer flags global or wall-clock-seeded math/rand usage.
+var Analyzer = &analysis.Analyzer{
+	Name: "detseed",
+	Doc: "No global math/rand and no wall-clock seeds: draw from an injected " +
+		"*rand.Rand built from an explicit seed (rand.New(rand.NewPCG(seed, ...))), " +
+		"so every simulation and attack run is reproducible bit-for-bit. " +
+		"crypto/rand is exempt — cryptographic randomness is meant to differ per run.",
+	Run: run,
+}
+
+// randPkgs are the import paths whose package-level state is the global,
+// non-injectable source.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call)
+			if !ok || !randPkgs[pkg] {
+				return true
+			}
+			if strings.HasPrefix(name, "New") {
+				// Constructors are the sanctioned path — unless the seed
+				// expression smuggles in the wall clock. One report per
+				// constructor chain: don't descend into nested ones.
+				for _, arg := range call.Args {
+					if tp := clockCall(pass, arg); tp != "" {
+						pass.Reportf(call.Pos(),
+							"wall-clock seed (%s) makes this source irreproducible; thread an explicit seed through the config", tp)
+						return false
+					}
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-global source; inject a seeded *rand.Rand instead", pkg, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// clockCall reports the first wall-clock call inside expr ("time.Now",
+// "(time.Time).UnixNano", ...), or "" if there is none.
+func clockCall(pass *analysis.Pass, expr ast.Expr) string {
+	var found string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call); ok && pkg == "time" && (name == "Now" || name == "Since") {
+			found = "time." + name
+			return false
+		}
+		if full := analysis.MethodFullName(pass.TypesInfo, call); strings.HasPrefix(full, "(time.Time).") {
+			found = full
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package detseed_test
+
+import (
+	"testing"
+
+	"apisense/internal/analysis/analysistest"
+	"apisense/internal/analysis/detseed"
+)
+
+func TestDetseed(t *testing.T) {
+	analysistest.Run(t, "testdata", detseed.Analyzer, "detseed")
+}

@@ -1,0 +1,47 @@
+// Package detseed is the fixture for the detseed analyzer: randomness
+// must come from injectable, explicitly seeded sources.
+package detseed
+
+import (
+	crand "crypto/rand"
+	mrand "math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.IntN(10) // want "process-global source"
+}
+
+func globalV1() int {
+	return mrand.Int() // want "process-global source"
+}
+
+func wallClockSeed() *mrand.Rand {
+	return mrand.New(mrand.NewSource(time.Now().UnixNano())) // want "wall-clock seed"
+}
+
+func wallClockPCG() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().Unix()), 1)) // want "wall-clock seed"
+}
+
+func injected(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed))
+}
+
+func injectedV2(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xabcdef))
+}
+
+func cryptographic(buf []byte) (int, error) {
+	return crand.Read(buf) // crypto/rand differs per run on purpose
+}
+
+func suppressed() float64 {
+	//lint:allow detseed jitter only, never feeds a report
+	return rand.Float64()
+}
+
+func derived(r *rand.Rand) int {
+	return r.IntN(3) // method on an injected *rand.Rand: fine
+}

@@ -1,0 +1,63 @@
+// Package errcode enforces the error taxonomy at API boundaries: code in
+// scoped packages (the Hive HTTP layer and the transport wire types) must
+// return errors that wrap a coded sentinel with %w, never naked strings.
+// The HTTP layer maps sentinels to status codes with errors.Is (see
+// internal/hive.writeError); an unwrapped fmt.Errorf or inline errors.New
+// is invisible to that mapping and surfaces as an uncategorised 500/400.
+package errcode
+
+import (
+	"go/ast"
+	"strings"
+
+	"apisense/internal/analysis"
+)
+
+// Analyzer flags uncoded errors at transport boundaries.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "Boundary packages must return coded errors: every fmt.Errorf needs a %w " +
+		"verb wrapping a package sentinel, and errors.New may only define " +
+		"package-level sentinels. This keeps the HTTP status mapping (errors.Is " +
+		"over the hive/transport taxonomy) exhaustive.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			// Package-level var blocks are where sentinels live; calls
+			// inside them are the taxonomy, not violations.
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkg == "errors" && name == "New":
+					pass.Reportf(call.Pos(),
+						"inline errors.New creates an uncoded error; define a package-level sentinel and wrap it with %%w")
+				case pkg == "fmt" && name == "Errorf" && len(call.Args) > 0:
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok {
+						return true // dynamic format: cannot prove, stay quiet
+					}
+					if !strings.Contains(lit.Value, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w crosses the API boundary uncoded; wrap a sentinel so errors.Is can map it to a status")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

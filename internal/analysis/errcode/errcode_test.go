@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"apisense/internal/analysis/analysistest"
+	"apisense/internal/analysis/errcode"
+)
+
+func TestErrcode(t *testing.T) {
+	analysistest.Run(t, "testdata", errcode.Analyzer, "errcode")
+}

@@ -1,0 +1,46 @@
+// Package errcode is the fixture for the errcode analyzer: boundary
+// errors must wrap a coded sentinel with %w.
+package errcode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package-level sentinel: the sanctioned place for
+// errors.New.
+var ErrBad = errors.New("errcode: bad input")
+
+// Sentinel groups are fine too.
+var (
+	ErrGone = errors.New("errcode: gone")
+)
+
+func uncoded() error {
+	return fmt.Errorf("something broke") // want "without %w crosses the API boundary uncoded"
+}
+
+func uncodedWithArgs(id string) error {
+	return fmt.Errorf("lookup %q failed", id) // want "without %w"
+}
+
+func inline() error {
+	return errors.New("nope") // want "inline errors.New creates an uncoded error"
+}
+
+func coded(id string) error {
+	return fmt.Errorf("%w: %s", ErrBad, id)
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("decode request: %w", err)
+}
+
+func suppressed() error {
+	//lint:allow errcode diagnostic stays in-process, never crosses the API
+	return fmt.Errorf("internal detail")
+}
+
+func dynamicFormat(format string) error {
+	return fmt.Errorf(format, ErrGone) //nolint // dynamic: analyzer stays quiet
+}

@@ -1,0 +1,512 @@
+// Package lockfsync enforces the Hive's central latency invariant: no
+// goroutine may hold a mutex across a disk sync. A held lock turns every
+// fsync (single-digit milliseconds on a good SSD, tens on cloud disks)
+// into a stall for every reader contending on that lock — exactly the bug
+// class PR 5's review caught by hand in internal/hive, where fleet task
+// polls queued up behind journal syncs.
+//
+// The analyzer tracks, within each function, which mutexes are held at
+// each statement (flow-aware for if/else, loops and switches) and reports
+// any call that can reach (*os.File).Sync — directly or through a chain
+// of same-package calls — while a non-exempt mutex is held.
+//
+// Two source directives refine the check:
+//
+//	//lint:allowsync <reason>
+//
+// on the line above (or on) a mutex declaration marks that mutex as a
+// designated commit lock, allowed to be held across fsync by design (the
+// Hive's ingestMu, the Journal's own file mutex).
+//
+//	//lint:lockorder a < b
+//
+// declares an acquisition order: a must be taken before b, so acquiring a
+// while b is held is reported. This promotes internal/hive's
+// "ingestMu before mu" comment into a checked annotation.
+package lockfsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"apisense/internal/analysis"
+)
+
+// Analyzer flags fsyncs under locks and lock-order inversions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockfsync",
+	Doc: "No mutex may be held across a call reaching (*os.File).Sync unless its " +
+		"declaration carries //lint:allowsync; declared //lint:lockorder pairs " +
+		"must be acquired in order. Keeps disk syncs off every lock readers " +
+		"contend on.",
+	Run: run,
+}
+
+// lockMethods maps the sync.Mutex/RWMutex method set to acquire/release.
+var lockMethods = map[string]bool{ // true = acquire
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).Unlock":    false,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).Unlock":  false,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.RWMutex).RUnlock": false,
+}
+
+// heldMutex is one mutex currently held, keyed in the held map by the
+// printed receiver expression (e.g. "h.mu").
+type heldMutex struct {
+	name string       // bare field/var name, for lock-order matching
+	obj  types.Object // declaration object, for allowsync exemption
+	pos  token.Pos    // acquisition site
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	exempt  map[types.Object]bool
+	order   map[[2]string]bool // {before, after} declared pairs
+	decls   map[types.Object]*ast.FuncDecl
+	reaches map[types.Object]int // 0 unknown, 1 visiting, 2 yes, 3 no
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		exempt:  make(map[types.Object]bool),
+		order:   make(map[[2]string]bool),
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		reaches: make(map[types.Object]int),
+	}
+	c.collectDirectives()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walkStmts(fd.Body.List, map[string]heldMutex{})
+			}
+		}
+	}
+	return nil
+}
+
+// collectDirectives parses //lint:allowsync and //lint:lockorder.
+func (c *checker) collectDirectives() {
+	for _, f := range c.pass.Files {
+		mutexDeclsByLine := c.mutexDeclLines(f)
+		for _, d := range analysis.Directives(f, c.pass.Fset) {
+			switch d.Name {
+			case "allowsync":
+				if d.Args == "" {
+					c.pass.Reportf(d.Pos, "//lint:allowsync needs a reason: say why this mutex may be held across fsync")
+					continue
+				}
+				line := c.pass.Fset.Position(d.Pos).Line
+				objs := append(mutexDeclsByLine[line], mutexDeclsByLine[line+1]...)
+				if len(objs) == 0 {
+					c.pass.Reportf(d.Pos, "//lint:allowsync matches no mutex declaration on this or the next line")
+					continue
+				}
+				for _, obj := range objs {
+					c.exempt[obj] = true
+				}
+			case "lockorder":
+				fields := strings.Fields(d.Args)
+				if len(fields) != 3 || fields[1] != "<" {
+					c.pass.Reportf(d.Pos, "malformed //lint:lockorder: need `//lint:lockorder first < second`")
+					continue
+				}
+				c.order[[2]string{fields[0], fields[2]}] = true
+			}
+		}
+	}
+}
+
+// mutexDeclLines indexes every sync.Mutex/RWMutex field or variable
+// declaration of a file by source line.
+func (c *checker) mutexDeclLines(f *ast.File) map[int][]types.Object {
+	out := make(map[int][]types.Object)
+	add := func(id *ast.Ident) {
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil || !isMutexType(obj.Type()) {
+			return
+		}
+		line := c.pass.Fset.Position(id.Pos()).Line
+		out[line] = append(out[line], obj)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Field:
+			for _, name := range n.Names {
+				add(name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				add(name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// --- statement walk with held-lock tracking ---------------------------
+
+func (c *checker) walkStmts(stmts []ast.Stmt, held map[string]heldMutex) {
+	for _, s := range stmts {
+		c.walkStmt(s, held)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held map[string]heldMutex) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		c.walkIf(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		c.walkStmts(s.Body.List, body)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		body := copyHeld(held)
+		c.walkStmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		c.walkCaseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.walkCaseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		c.walkCaseBodies(s.Body, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held to function end, which
+		// the linear walk models by simply not removing it. Other
+		// deferred calls run after every statement below, with an
+		// unknowable lock state — skip them.
+	case *ast.GoStmt:
+		// Runs on another goroutine; it does not execute under this
+		// goroutine's locks.
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // executes later, not here
+			case ast.Stmt:
+				if n != s {
+					c.walkStmt(n, held)
+					return false
+				}
+			case ast.Expr:
+				c.scanExpr(n, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// walkCaseBodies analyses each case/comm clause with its own copy of the
+// held set; no branch's changes propagate (under-approximation).
+func (c *checker) walkCaseBodies(body *ast.BlockStmt, held map[string]heldMutex) {
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, held)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		branch := copyHeld(held)
+		c.walkStmts(stmts, branch)
+	}
+}
+
+// walkIf merges lock state across the branches: a branch that terminates
+// (returns/panics) contributes nothing to the state after the if; when
+// both fall through, a mutex counts as held only if both still hold it.
+func (c *checker) walkIf(s *ast.IfStmt, held map[string]heldMutex) {
+	if s.Init != nil {
+		c.walkStmt(s.Init, held)
+	}
+	c.scanExpr(s.Cond, held)
+
+	body := copyHeld(held)
+	c.walkStmts(s.Body.List, body)
+	bodyTerm := terminates(s.Body.List)
+
+	els := copyHeld(held)
+	elseTerm := false
+	if s.Else != nil {
+		c.walkStmt(s.Else, els)
+		elseTerm = stmtTerminates(s.Else)
+	}
+
+	switch {
+	case bodyTerm && elseTerm:
+		// Anything after the if is unreachable; leave held as-is.
+	case bodyTerm:
+		replaceHeld(held, els)
+	case elseTerm:
+		replaceHeld(held, body)
+	default:
+		replaceHeld(held, intersectHeld(body, els))
+	}
+}
+
+// scanExpr visits every call in an expression, updating the held set for
+// Lock/Unlock and reporting sync-reaching calls made under a lock.
+func (c *checker) scanExpr(e ast.Expr, held map[string]heldMutex) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.handleCall(n, held)
+		}
+		return true
+	})
+}
+
+// handleCall classifies one call: mutex acquire/release, sync-reaching
+// call, or neither.
+func (c *checker) handleCall(call *ast.CallExpr, held map[string]heldMutex) {
+	full := analysis.MethodFullName(c.pass.TypesInfo, call)
+	if acquire, isLock := lockMethods[full]; isLock {
+		sel := call.Fun.(*ast.SelectorExpr)
+		key := types.ExprString(sel.X)
+		if acquire {
+			m := heldMutex{name: baseName(sel.X), obj: c.mutexObj(sel.X), pos: call.Pos()}
+			c.checkLockOrder(call, m, held)
+			held[key] = m
+		} else {
+			delete(held, key)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if !c.callReachesSync(call) {
+		return
+	}
+	for key, m := range held {
+		if c.exempt[m.obj] {
+			continue
+		}
+		c.pass.Reportf(call.Pos(),
+			"%s is held across a call to %s, which reaches (*os.File).Sync; release it before the disk sync or annotate the mutex with //lint:allowsync <reason>",
+			key, callName(call))
+	}
+}
+
+// checkLockOrder reports an inversion of a declared //lint:lockorder pair.
+func (c *checker) checkLockOrder(call *ast.CallExpr, acquiring heldMutex, held map[string]heldMutex) {
+	for _, h := range held {
+		if c.order[[2]string{acquiring.name, h.name}] {
+			c.pass.Reportf(call.Pos(),
+				"lock order violation: %s must be acquired before %s (declared //lint:lockorder %s < %s), but %s is already held",
+				acquiring.name, h.name, acquiring.name, h.name, h.name)
+		}
+	}
+}
+
+// mutexObj resolves the declaration object of a mutex expression.
+func (c *checker) mutexObj(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return c.pass.TypesInfo.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// baseName is the final name component of a mutex expression.
+func baseName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return types.ExprString(e)
+}
+
+// callName renders the callee for diagnostics.
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+// --- sync reachability ------------------------------------------------
+
+// callReachesSync reports whether a call is (*os.File).Sync itself or
+// resolves to a same-package function whose body transitively reaches one.
+// Unresolvable callees (interfaces, function values, other packages) are
+// conservatively assumed not to sync.
+func (c *checker) callReachesSync(call *ast.CallExpr) bool {
+	if analysis.MethodFullName(c.pass.TypesInfo, call) == "(*os.File).Sync" {
+		return true
+	}
+	obj := calleeObj(c.pass.TypesInfo, call)
+	if obj == nil {
+		return false
+	}
+	return c.funcReachesSync(obj)
+}
+
+// calleeObj resolves the called function/method object, if any.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// funcReachesSync memoises "does this package function's body reach an
+// fsync" over the package-local call graph.
+func (c *checker) funcReachesSync(obj types.Object) bool {
+	switch c.reaches[obj] {
+	case 2:
+		return true
+	case 3:
+		return false
+	case 1: // recursion: assume no on the back edge
+		return false
+	}
+	fd, ok := c.decls[obj]
+	if !ok {
+		c.reaches[obj] = 3
+		return false
+	}
+	c.reaches[obj] = 1
+	result := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if result {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.callReachesSync(call) {
+			result = true
+			return false
+		}
+		return true
+	})
+	if result {
+		c.reaches[obj] = 2
+	} else {
+		c.reaches[obj] = 3
+	}
+	return result
+}
+
+// --- held-set plumbing ------------------------------------------------
+
+func copyHeld(held map[string]heldMutex) map[string]heldMutex {
+	out := make(map[string]heldMutex, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func replaceHeld(dst, src map[string]heldMutex) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func intersectHeld(a, b map[string]heldMutex) map[string]heldMutex {
+	out := make(map[string]heldMutex)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// terminates reports whether a statement list always transfers control
+// out (return, branch, panic, os.Exit).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body.List) && stmtTerminates(s.Else)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Exit" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockfsync_test
+
+import (
+	"testing"
+
+	"apisense/internal/analysis/analysistest"
+	"apisense/internal/analysis/lockfsync"
+)
+
+func TestLockFsync(t *testing.T) {
+	analysistest.Run(t, "testdata", lockfsync.Analyzer, "lockfsync")
+}

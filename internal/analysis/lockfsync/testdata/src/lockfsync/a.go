@@ -1,0 +1,101 @@
+// Package lockfsync is the fixture for the lockfsync analyzer: no mutex
+// held across a disk sync, declared lock orders respected.
+package lockfsync
+
+import (
+	"os"
+	"sync"
+)
+
+//lint:lockorder commitMu < mu
+
+type store struct {
+	mu sync.RWMutex
+
+	//lint:allowsync designated commit lock, serialises fsyncs by design
+	commitMu sync.Mutex
+
+	f *os.File
+}
+
+// flushUnderLock holds mu across the fsync: every reader stalls on the
+// disk.
+func (s *store) flushUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want "s.mu is held across a call to s.f.Sync"
+}
+
+// flushAfterUnlock releases before syncing: clean.
+func (s *store) flushAfterUnlock() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// sync is a same-package helper reaching (*os.File).Sync.
+func (s *store) sync() error { return s.f.Sync() }
+
+// indirect reaches the fsync through the helper: still flagged.
+func (s *store) indirect() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sync() // want "s.mu is held across a call to s.sync"
+}
+
+// commit holds the annotated commit lock across the sync: allowed.
+func (s *store) commit() error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.f.Sync()
+}
+
+// inverted acquires commitMu while mu is held, against the declared
+// order.
+func (s *store) inverted() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitMu.Lock() // want "lock order violation: commitMu must be acquired before mu"
+	s.commitMu.Unlock()
+}
+
+// ordered takes commitMu first and keeps the sync outside mu: clean.
+func (s *store) ordered() error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// branchUnlock unlocks on the early-return path only; the fallthrough
+// path still holds mu at the sync.
+func (s *store) branchUnlock(skip bool) error {
+	s.mu.Lock()
+	if skip {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.f.Sync() // want "s.mu is held across a call to s.f.Sync"
+	s.mu.Unlock()
+	return err
+}
+
+// bothBranchesUnlock releases on every path before the sync: clean.
+func (s *store) bothBranchesUnlock(fast bool) error {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	return s.f.Sync()
+}
+
+// suppressed documents a deliberate one-off exception inline.
+func (s *store) suppressed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockfsync startup-only path, no concurrent readers yet
+	return s.f.Sync()
+}

@@ -58,22 +58,41 @@ func (h *HeatmapLinker) BuildFingerprints(background *trace.Dataset) map[string]
 	return out
 }
 
-// cosine returns the cosine similarity of two fingerprints.
+// cosine returns the cosine similarity of two fingerprints. The folds run
+// over sorted cells so the similarity — and therefore the attack's ranking
+// on near-ties — is byte-identical between runs.
 func cosine(a, b Fingerprint) float64 {
 	var dot, na, nb float64
-	for c, va := range a {
+	for _, c := range sortedCells(a) {
+		va := a[c]
 		if vb, ok := b[c]; ok {
 			dot += va * vb
 		}
 		na += va * va
 	}
-	for _, vb := range b {
+	for _, c := range sortedCells(b) {
+		vb := b[c]
 		nb += vb * vb
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
+}
+
+// sortedCells returns the fingerprint's cells in row-major order.
+func sortedCells(fp Fingerprint) []geo.Cell {
+	cells := make([]geo.Cell, 0, len(fp))
+	for c := range fp {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Row != cells[j].Row {
+			return cells[i].Row < cells[j].Row
+		}
+		return cells[i].Col < cells[j].Col
+	})
+	return cells
 }
 
 // Run links every pseudonymous user of the release against the learned

@@ -249,6 +249,7 @@ func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([
 // Evaluate scores every candidate strategy against the raw dataset. It is
 // EvaluateContext with a background context.
 func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
+	//lint:allow ctxflow convenience wrapper, EvaluateContext is the cancellable form
 	return m.EvaluateContext(context.Background(), raw)
 }
 
@@ -288,5 +289,6 @@ func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*t
 
 // Publish is PublishContext with a background context.
 func (m *Middleware) Publish(raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
+	//lint:allow ctxflow convenience wrapper, PublishContext is the cancellable form
 	return m.PublishContext(context.Background(), raw)
 }

@@ -408,5 +408,6 @@ func (m *Middleware) PublishShardedContext(ctx context.Context, raw *trace.Datas
 
 // PublishSharded is PublishShardedContext with a background context.
 func (m *Middleware) PublishSharded(raw *trace.Dataset, by ShardBy) (*trace.Dataset, *ShardedSelection, error) {
+	//lint:allow ctxflow convenience wrapper, PublishShardedContext is the cancellable form
 	return m.PublishShardedContext(context.Background(), raw, by)
 }

@@ -32,6 +32,9 @@ var (
 	// its per-task upload cap (see SetMaxUploadsPerTask). The HTTP layer
 	// maps it to 429 Too Many Requests.
 	ErrUploadLimit = errors.New("hive: task upload limit reached")
+	// ErrInvalidDevice marks a structurally invalid device registration.
+	// The HTTP layer maps it to 400 Bad Request.
+	ErrInvalidDevice = errors.New("hive: invalid device registration")
 )
 
 // DefaultMaxUploadsPerTask is the per-task upload cap of a fresh Hive. The
@@ -41,6 +44,10 @@ var (
 const DefaultMaxUploadsPerTask = 100000
 
 // Hive is the central coordination service.
+//
+// Lock order, checked mechanically by cmd/apisenselint (lockfsync):
+//
+//lint:lockorder ingestMu < mu
 type Hive struct {
 	mu          sync.RWMutex
 	devices     map[string]transport.DeviceInfo
@@ -54,7 +61,11 @@ type Hive struct {
 	// ingestMu serialises whole upload group commits (admit + journal +
 	// fsync) with each other, so h.mu — which every fleet task poll and
 	// stats read contends on — is held only for the in-memory admission,
-	// never across a disk sync. Lock order: ingestMu before mu.
+	// never across a disk sync. The lock order and the fsync exemption
+	// below are checked mechanically by cmd/apisenselint (lockfsync); see
+	// the "Static analysis" section of the README.
+	//
+	//lint:allowsync designated commit lock, held across fsync by design
 	ingestMu sync.Mutex
 }
 
@@ -82,7 +93,7 @@ func (h *Hive) SetMaxUploadsPerTask(n int) {
 // updates its info (battery level, position).
 func (h *Hive) RegisterDevice(info transport.DeviceInfo) error {
 	if info.ID == "" || info.User == "" {
-		return fmt.Errorf("hive: device id and user are required")
+		return fmt.Errorf("%w: device id and user are required", ErrInvalidDevice)
 	}
 	h.mu.Lock()
 	h.devices[info.ID] = info

@@ -23,6 +23,7 @@ import (
 // Batching uploads therefore amortises the fsync over the batch instead of
 // paying it per upload.
 type Journal struct {
+	//lint:allowsync journal commit lock, serialises append+fsync by design
 	mu        sync.Mutex
 	f         *os.File
 	enc       *json.Encoder
@@ -223,6 +224,11 @@ func (h *Hive) replay(r io.Reader) error {
 	return nil
 }
 
+// ErrCorruptJournal marks a journal event that cannot be replayed:
+// Recover wraps it around the offending line so callers can distinguish
+// corruption from I/O failures with errors.Is.
+var ErrCorruptJournal = errors.New("hive: corrupt journal event")
+
 // apply restores one event's effect without re-journalling it. Publication
 // events restore the stored recruitment verbatim instead of re-running
 // recruitment, so that replay is deterministic regardless of current state.
@@ -230,7 +236,7 @@ func (h *Hive) apply(e event) error {
 	switch e.Kind {
 	case evRegister:
 		if e.Device == nil {
-			return fmt.Errorf("register event lacks device")
+			return fmt.Errorf("%w: register event lacks device", ErrCorruptJournal)
 		}
 		h.devices[e.Device.ID] = *e.Device
 		return nil
@@ -242,7 +248,7 @@ func (h *Hive) apply(e event) error {
 		return nil
 	case evPublish:
 		if e.Task == nil || e.Task.ID == "" {
-			return fmt.Errorf("publish event lacks task")
+			return fmt.Errorf("%w: publish event lacks task", ErrCorruptJournal)
 		}
 		h.tasks[e.Task.ID] = *e.Task
 		set := make(map[string]bool, len(e.Recruited))
@@ -258,11 +264,11 @@ func (h *Hive) apply(e event) error {
 		return nil
 	case evUpload:
 		if e.Upload == nil {
-			return fmt.Errorf("upload event lacks payload")
+			return fmt.Errorf("%w: upload event lacks payload", ErrCorruptJournal)
 		}
 		h.uploads[e.Upload.TaskID] = append(h.uploads[e.Upload.TaskID], *e.Upload)
 		return nil
 	default:
-		return fmt.Errorf("unknown event kind %q", e.Kind)
+		return fmt.Errorf("%w: unknown event kind %q", ErrCorruptJournal, e.Kind)
 	}
 }

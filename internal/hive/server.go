@@ -85,6 +85,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrUploadLimit):
 		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrInvalidDevice), errors.Is(err, transport.ErrInvalidSpec):
+		code = http.StatusBadRequest
 	case errors.Is(err, ingest.ErrBatchTooLarge):
 		// Could never be admitted — the client must split the batch.
 		code = http.StatusRequestEntityTooLarge

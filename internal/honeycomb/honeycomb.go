@@ -126,6 +126,7 @@ func UploadsToDataset(ups []transport.Upload, deviceUser map[string]string) *tra
 // handling privacy-preserving publication of mobility data ... that can be
 // easily integrated on-top of APISENSE".
 func (h *Honeycomb) PublishPrivate(raw *trace.Dataset, cfg core.Config) (*trace.Dataset, *core.Selection, error) {
+	//lint:allow ctxflow convenience wrapper, PublishPrivateContext is the cancellable form
 	return h.PublishPrivateContext(context.Background(), raw, cfg)
 }
 

@@ -199,15 +199,41 @@ func (q *Queue) Submit(ctx context.Context, ups []transport.Upload) ([]error, er
 }
 
 // Close stops intake, drains every batch already queued, and blocks until
-// the workers exit. Safe to call more than once.
+// the workers exit. Safe to call more than once. Use CloseContext to bound
+// how long the caller waits for the drain.
 func (q *Queue) Close() {
+	q.stopIntake()
+	q.wg.Wait()
+}
+
+// CloseContext is Close with a deadline on the wait: intake stops
+// immediately either way, but the caller stops waiting for the drain when
+// ctx expires. The workers keep draining the already-queued batches in the
+// background regardless, so producers blocked in Submit still get their
+// verdicts. Returns ctx.Err when the deadline cut the wait short.
+func (q *Queue) CloseContext(ctx context.Context) error {
+	q.stopIntake()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// stopIntake marks the queue closed and wakes the workers; idempotent.
+func (q *Queue) stopIntake() {
 	q.mu.Lock()
 	if !q.closed {
 		q.closed = true
 		close(q.ch)
 	}
 	q.mu.Unlock()
-	q.wg.Wait()
 }
 
 // Stats snapshots the queue gauges.

@@ -41,6 +41,7 @@ type Mechanism interface {
 // equivalent to ProtectDatasetContext with a background context and one
 // worker per CPU.
 func ProtectDataset(m Mechanism, d *trace.Dataset) (*trace.Dataset, error) {
+	//lint:allow ctxflow convenience wrapper, ProtectDatasetContext is the cancellable form
 	return ProtectDatasetContext(context.Background(), m, d, runtime.GOMAXPROCS(0))
 }
 

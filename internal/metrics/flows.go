@@ -69,20 +69,38 @@ func lessCell(a, b geo.Cell) bool {
 
 // FlowSimilarity compares two flow matrices with cosine similarity over
 // the union of flows: 1 means the protected release preserves the
-// origin/destination structure exactly.
+// origin/destination structure exactly. The folds run over sorted flows so
+// the reported similarity is byte-identical between runs.
 func FlowSimilarity(a, b map[Flow]float64) float64 {
 	var dot, na, nb float64
-	for f, va := range a {
+	for _, f := range sortedFlows(a) {
+		va := a[f]
 		if vb, ok := b[f]; ok {
 			dot += va * vb
 		}
 		na += va * va
 	}
-	for _, vb := range b {
+	for _, f := range sortedFlows(b) {
+		vb := b[f]
 		nb += vb * vb
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
+}
+
+// sortedFlows returns the matrix's flows in (From, To) row-major order.
+func sortedFlows(m map[Flow]float64) []Flow {
+	flows := make([]Flow, 0, len(m))
+	for f := range m {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].From != flows[j].From {
+			return lessCell(flows[i].From, flows[j].From)
+		}
+		return lessCell(flows[i].To, flows[j].To)
+	})
+	return flows
 }

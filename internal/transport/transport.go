@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,19 +49,24 @@ type TaskSpec struct {
 	Incentive string `json:"incentive,omitempty"`
 }
 
+// ErrInvalidSpec marks a structurally invalid task spec: every Validate
+// failure wraps it, so callers branch on the class with errors.Is and the
+// HTTP layer maps it to 400 Bad Request.
+var ErrInvalidSpec = errors.New("transport: invalid task spec")
+
 // Validate reports structural problems in a spec.
 func (s TaskSpec) Validate() error {
 	if s.Name == "" {
-		return fmt.Errorf("transport: task name is required")
+		return fmt.Errorf("%w: task name is required", ErrInvalidSpec)
 	}
 	if s.Script == "" {
-		return fmt.Errorf("transport: task script is required")
+		return fmt.Errorf("%w: task script is required", ErrInvalidSpec)
 	}
 	if s.PeriodSeconds <= 0 {
-		return fmt.Errorf("transport: task period must be positive, got %d", s.PeriodSeconds)
+		return fmt.Errorf("%w: task period must be positive, got %d", ErrInvalidSpec, s.PeriodSeconds)
 	}
 	if s.MaxRecords < 0 {
-		return fmt.Errorf("transport: MaxRecords must be >= 0")
+		return fmt.Errorf("%w: MaxRecords must be >= 0", ErrInvalidSpec)
 	}
 	return nil
 }
