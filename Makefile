@@ -5,7 +5,7 @@
 GO ?= go
 
 # Benchmarks whose ns/op are tracked against BENCH_baseline.json.
-TRACKED_BENCH := BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkIngestBatch
+TRACKED_BENCH := BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch
 
 .PHONY: all build lint test race check bench-refresh fmt
 

@@ -38,6 +38,7 @@ import (
 	"apisense/internal/attack"
 	"apisense/internal/core"
 	"apisense/internal/device"
+	"apisense/internal/evalcache"
 	"apisense/internal/filter"
 	"apisense/internal/geo"
 	"apisense/internal/hive"
@@ -222,6 +223,30 @@ var ErrNoStrategy = core.ErrNoStrategy
 func NewPrivacyMiddleware(cfg PrivacyConfig, origin Point) (*PrivacyMiddleware, error) {
 	return core.New(cfg, origin)
 }
+
+// ---- evaluation cache ----
+
+// Evaluation-cache types. Set PrivacyConfig.Cache to memoize reference-POI
+// extraction, attacker stay-point extraction and whole selection results
+// across Publish runs; unchanged inputs are re-published without
+// re-evaluation and warm reports stay byte-identical to cold ones (see
+// internal/evalcache).
+type (
+	// EvalCache is the content-addressed evaluation cache interface.
+	EvalCache = evalcache.Cache
+	// EvalCacheStats are the cache gauges (entries, bytes, hits, misses,
+	// evictions, pruned strategies).
+	EvalCacheStats = evalcache.Stats
+)
+
+// NewEvalCache returns the in-memory LRU evaluation cache bounded to
+// approximately maxBytes of retained entries (<= 0 selects the default,
+// 256 MiB). Safe for concurrent use and for sharing between middlewares.
+func NewEvalCache(maxBytes int64) EvalCache { return evalcache.NewLRU(maxBytes) }
+
+// WithEvalCache surfaces an evaluation cache's gauges under the Hive
+// server's /api/stats.
+var WithEvalCache = hive.WithEvalCache
 
 // ---- sharded publication ----
 

@@ -51,9 +51,10 @@ var suite = []scoped{
 	// take -seed flags for the same reason libraries take Config.Seed.
 	{detseed.Analyzer, nil},
 	// Byte-identical reports are a contract of the evaluation, metrics
-	// and experiment-table paths.
+	// and experiment-table paths — and of the evaluation cache, whose
+	// hits must replay exactly what a cold run would compute.
 	{detrange.Analyzer, under("apisense/internal/core", "apisense/internal/metrics",
-		"apisense/internal/exp", "apisense/internal/attack")},
+		"apisense/internal/exp", "apisense/internal/attack", "apisense/internal/evalcache")},
 	// Context discipline applies to library code; main packages and
 	// examples legitimately root their own contexts.
 	{ctxflow.Analyzer, func(path string) bool {

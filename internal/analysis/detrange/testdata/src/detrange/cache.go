@@ -1,0 +1,99 @@
+// Cache-shaped fixtures: an evaluation cache keeps its entries in a map,
+// and anything reported about it (aggregate gauges, entry listings) must
+// not depend on Go's randomised map iteration order. These mirror the
+// shapes detrange patrols in internal/evalcache and the cache paths of
+// internal/core.
+package detrange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// cacheEntry is one memoized evaluation result.
+type cacheEntry struct {
+	cost    float64
+	hits    int
+	utility float64
+}
+
+// statsUnsorted folds per-entry float costs in map order: the total's
+// last bits differ between runs, so two /api/stats responses over the
+// same cache contents could disagree.
+func statsUnsorted(entries map[string]cacheEntry) float64 {
+	var bytes float64
+	for _, e := range entries {
+		bytes += e.cost // want "float accumulation in map iteration order"
+	}
+	return bytes
+}
+
+// dumpUnsorted leaks entry keys out of the cache in map order; a report
+// built from the returned slice is not byte-identical between runs.
+func dumpUnsorted(entries map[string]cacheEntry) []string {
+	var keys []string
+	for k := range entries { // want "keys collects map-range values"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// logUnsorted prints cache contents in map order.
+func logUnsorted(entries map[string]cacheEntry) {
+	for k, e := range entries {
+		fmt.Printf("%s: hits=%d\n", k, e.hits) // want "printing inside a range over a map"
+	}
+}
+
+// statsSorted is the sanctioned shape: fold over sorted keys, so the
+// gauge is the same float on every run.
+func statsSorted(entries map[string]cacheEntry) float64 {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var bytes float64
+	for _, k := range keys {
+		bytes += entries[k].cost
+	}
+	return bytes
+}
+
+// dumpSorted sorts before the slice escapes: deterministic listing.
+func dumpSorted(entries map[string]cacheEntry) []string {
+	var keys []string
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countHits is commutative integer work over the cache: allowed, and
+// exactly how hit/miss counters may be aggregated.
+func countHits(entries map[string]cacheEntry) int {
+	n := 0
+	for _, e := range entries {
+		n += e.hits
+	}
+	return n
+}
+
+// bestUtility shows why even a "max" fold needs sorted keys when ties
+// exist: the winner under ties depends on visit order. The fixture keeps
+// the accumulation deterministic by folding over sorted keys.
+func bestUtility(entries map[string]cacheEntry) (string, float64) {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bestKey, best := "", -1.0
+	for _, k := range keys {
+		if entries[k].utility > best {
+			bestKey, best = k, entries[k].utility
+		}
+	}
+	return bestKey, best
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"apisense/internal/evalcache"
+	"apisense/internal/geo"
+	"apisense/internal/poi"
+	"apisense/internal/trace"
+)
+
+// Evaluation caching (see the package documentation of internal/evalcache
+// for the full design). This file holds the engine side of the wiring:
+// cache-key derivation, the caching attacker extractor, the selection
+// cache used by Publish/PublishSharded, and the adaptive-pruning records.
+//
+// Every key embeds a configuration fingerprint, so middlewares with
+// different objectives, floors, grids or portfolios sharing one cache can
+// never serve each other's entries; invalidation on config change is
+// therefore automatic (a new fingerprint simply addresses fresh keys and
+// the old entries age out of the LRU). Keys are content-addressed — equal
+// key implies equal value — which is what keeps warm reports byte-
+// identical to cold ones.
+
+// keySep separates key segments. Shard keys and strategy names never
+// contain it, so concatenated segments cannot collide.
+const keySep = "\x1f"
+
+// monolithicPruneKey scopes pruning records of un-sharded Publish runs.
+// Shard policies always prefix their keys ("cell/", "window/", "user/"),
+// so it cannot collide with a real shard.
+const monolithicPruneKey = "dataset"
+
+// fingerprints are the precomputed cache-key components of a Middleware.
+// Three scopes keep sharing maximal: reference-POI entries depend only on
+// the POI configuration, attacker extractions only on the attacker
+// configuration, and selection results on everything evaluation-relevant.
+// Parallelism and PseudonymKey are deliberately absent: reports are
+// byte-identical for any Parallelism, and pseudonymisation is applied
+// after the cached (pre-pseudonymisation) stage.
+type fingerprints struct {
+	selection string // full evaluation config + portfolio
+	refPOI    string // reference-POI extraction config
+	attack    string // attacker extraction config
+}
+
+// fingerprint hashes a canonical rendering of the evaluation-relevant
+// configuration into a short hex string.
+func (m *Middleware) fingerprint() fingerprints {
+	c := m.cfg
+	refPOI := hashFields("refpoi", c.POIConfig.MaxDistance, int64(c.POIConfig.MinDuration))
+	atk := hashFields("attack", c.AttackRadius, int64(c.POIConfig.MinDuration))
+	fields := []any{
+		"selection", int(c.Objective), c.MaxPOIExposure, c.CellSize, c.TopK,
+		c.POIConfig.MaxDistance, int64(c.POIConfig.MinDuration), c.AttackRadius,
+	}
+	for _, s := range m.strategies {
+		fields = append(fields, s.Name())
+	}
+	return fingerprints{selection: hashFields(fields...), refPOI: refPOI, attack: atk}
+}
+
+// hashFields renders each field with %v separated by keySep and returns
+// the first 16 hex digits of the SHA-256 digest.
+func hashFields(fields ...any) string {
+	h := sha256.New()
+	for _, f := range fields {
+		fmt.Fprintf(h, "%v%s", f, keySep)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func selectionKey(fp string, ds [trace.HashSize]byte) string {
+	return "sel" + keySep + fp + keySep + hex.EncodeToString(ds[:])
+}
+
+func refPOIKey(fp string, user [trace.HashSize]byte) string {
+	return "poi" + keySep + fp + keySep + hex.EncodeToString(user[:])
+}
+
+func attackKey(fp string, tr [trace.HashSize]byte) string {
+	return "atk" + keySep + fp + keySep + hex.EncodeToString(tr[:])
+}
+
+func pruneRecordKey(fp, pruneKey, strategy string) string {
+	return "prune" + keySep + fp + keySep + pruneKey + keySep + strategy
+}
+
+// ---- cost estimates ----
+
+// Approximate per-element retained sizes, used as evalcache costs. They
+// only need to be proportionate — the cache bound is an order-of-magnitude
+// memory control, not an accountant.
+const (
+	recordCost     = 56  // trace.Record: Time (24) + Pos (16) + Accuracy (8) + padding
+	trajectoryCost = 64  // slice headers + User header + pointer overhead
+	poiCost        = 88  // poi.POI: Center (16) + Enter/Leave (48) + Fixes (8) + padding
+	pointCost      = 16  // geo.Point
+	evaluationCost = 160 // core.Evaluation scalars + name
+	keyCost        = 96  // map key + LRU bookkeeping per entry
+)
+
+func datasetCost(d *trace.Dataset) int64 {
+	if d == nil {
+		return 0
+	}
+	cost := int64(d.Len()) * trajectoryCost
+	for _, t := range d.Trajectories {
+		cost += int64(len(t.User)) + int64(len(t.Records))*recordCost
+	}
+	return cost
+}
+
+func evalsCost(evals []Evaluation) int64 {
+	cost := int64(len(evals)) * evaluationCost
+	for _, ev := range evals {
+		cost += int64(len(ev.Strategy) + len(ev.PrunedReason))
+	}
+	return cost
+}
+
+// ---- caching attacker extractor ----
+
+// cachingExtractor memoises attacker stay-point extraction per protected
+// trajectory. Mechanisms are deterministic (randomness derives from the
+// trajectory identity), so an unchanged raw trajectory yields a byte-
+// identical protected trajectory and the simulated attack can reuse the
+// prior extraction. Cached slices are immutable by contract: poi.ExtractAll
+// copies the values it aggregates and poi.Merge never mutates its input.
+type cachingExtractor struct {
+	inner poi.Extractor
+	cache evalcache.Cache
+	fp    string
+}
+
+func (c cachingExtractor) Extract(t *trace.Trajectory) []poi.POI {
+	key := attackKey(c.fp, t.ContentHash())
+	if v, ok := c.cache.Get(key); ok {
+		return v.([]poi.POI)
+	}
+	pois := c.inner.Extract(t)
+	c.cache.Put(key, pois, int64(len(pois))*poiCost+keyCost)
+	return pois
+}
+
+// ---- per-user reference-POI memoization ----
+
+// referencePOIs is ReferencePOIs with per-user memoization: users whose
+// trajectory set is unchanged since a prior publication reuse their
+// extracted reference POIs. Without a cache it falls through to the
+// uncached path. The result is identical to ReferencePOIs: a user appears
+// iff extraction found at least one POI (empty extractions are memoised
+// too, as an empty marker).
+func (m *Middleware) referencePOIs(raw *trace.Dataset) (map[string][]geo.Point, error) {
+	if m.cache == nil {
+		return m.ReferencePOIs(raw)
+	}
+	out := make(map[string][]geo.Point)
+	for user, trs := range raw.ByUser() {
+		hashes := make([][trace.HashSize]byte, len(trs))
+		for i, t := range trs {
+			hashes[i] = t.ContentHash()
+		}
+		key := refPOIKey(m.fp.refPOI, trace.CombineHashes(hashes...))
+		if v, ok := m.cache.Get(key); ok {
+			if pts := v.([]geo.Point); len(pts) > 0 {
+				out[user] = append([]geo.Point(nil), pts...)
+			}
+			continue
+		}
+		var pois []poi.POI
+		for _, t := range trs {
+			pois = append(pois, m.refExtractor.Extract(t)...)
+		}
+		var pts []geo.Point
+		if len(pois) > 0 {
+			places := poi.Merge(pois, refPOIMergeRadius)
+			pts = make([]geo.Point, len(places))
+			for i, p := range places {
+				pts[i] = p.Center
+			}
+			out[user] = pts
+		}
+		m.cache.Put(key, append([]geo.Point(nil), pts...), int64(len(pts))*pointCost+keyCost)
+	}
+	return out, nil
+}
+
+// ---- selection cache ----
+
+// cachedSelection is one whole selection result: the full scorecard, the
+// winner's portfolio index and the winner's protected dataset before
+// pseudonymisation. Stored under the selection fingerprint plus the
+// dataset (or shard) content hash, so PublishShardedContext skips
+// evaluation of unchanged shards entirely and monolithic re-publication
+// of an unchanged dataset is a single lookup.
+type cachedSelection struct {
+	evals  []Evaluation
+	winIdx int            // -1 when no strategy met the floor
+	prot   *trace.Dataset // nil when winIdx < 0
+}
+
+// loadSelection returns a private copy of the cached selection for the
+// dataset, if present. Copies are handed out (and stored, see
+// storeSelection) so neither the caller nor the cache can mutate the
+// other's view.
+func (m *Middleware) loadSelection(raw *trace.Dataset) (cachedSelection, bool) {
+	if m.cache == nil {
+		return cachedSelection{}, false
+	}
+	v, ok := m.cache.Get(selectionKey(m.fp.selection, raw.ContentHash()))
+	if !ok {
+		return cachedSelection{}, false
+	}
+	cs := v.(*cachedSelection)
+	out := cachedSelection{
+		evals:  append([]Evaluation(nil), cs.evals...),
+		winIdx: cs.winIdx,
+	}
+	if cs.prot != nil {
+		out.prot = cs.prot.Clone()
+	}
+	return out, true
+}
+
+// storeSelection caches a selection result for the dataset, copying the
+// mutable parts so later engine or caller activity cannot poison the
+// entry.
+func (m *Middleware) storeSelection(raw *trace.Dataset, evals []Evaluation, winIdx int, prot *trace.Dataset) {
+	if m.cache == nil {
+		return
+	}
+	cs := &cachedSelection{
+		evals:  append([]Evaluation(nil), evals...),
+		winIdx: winIdx,
+	}
+	if winIdx >= 0 && prot != nil {
+		cs.prot = prot.Clone()
+	}
+	cost := evalsCost(cs.evals) + datasetCost(cs.prot) + keyCost
+	m.cache.Put(selectionKey(m.fp.selection, raw.ContentHash()), cs, cost)
+}
+
+// ---- adaptive portfolio pruning ----
+
+// pruneRecord remembers the cheap proxies at which a strategy last failed
+// the privacy floor on a shard: the number of trajectories it released
+// and the grid coverage of its release. Both proxies grow with the amount
+// of location evidence the strategy exposes, so a strategy that failed at
+// (r, c) is assumed to fail again whenever it now releases at least as
+// many trajectories with at least as much coverage — the full POI-recovery
+// attack is skipped and the evaluation is marked Pruned instead.
+//
+// Hash is the content hash of the shard the record was taken on. Pruning
+// only ever applies when the current shard content differs: re-evaluating
+// unchanged data must reproduce the cold scorecard byte for byte even when
+// its selection entry has been evicted (or is still being computed by a
+// concurrent publish), so identical content always runs the full attack.
+type pruneRecord struct {
+	Released int
+	Coverage float64
+	Hash     [trace.HashSize]byte
+}
+
+// loadPruneRecord returns the disqualification record for a strategy on a
+// shard, if pruning applies (cache present and a non-empty prune scope).
+func (m *Middleware) loadPruneRecord(pruneKey, strategy string) (pruneRecord, bool) {
+	if m.cache == nil || pruneKey == "" {
+		return pruneRecord{}, false
+	}
+	v, ok := m.cache.Get(pruneRecordKey(m.fp.selection, pruneKey, strategy))
+	if !ok {
+		return pruneRecord{}, false
+	}
+	return v.(pruneRecord), true
+}
+
+// storePruneRecord records a full (non-pruned) evaluation that failed the
+// floor, so later runs on the same shard can skip the attack when the
+// proxies say the data only grew.
+func (m *Middleware) storePruneRecord(pruneKey, strategy string, rec pruneRecord) {
+	if m.cache == nil || pruneKey == "" {
+		return
+	}
+	m.cache.Put(pruneRecordKey(m.fp.selection, pruneKey, strategy), rec, 80+keyCost)
+}
+
+// refPOIMergeRadius is the per-user place-merge radius of ReferencePOIs,
+// shared with the cached path.
+const refPOIMergeRadius = 250

@@ -62,6 +62,7 @@ import (
 	"runtime"
 
 	"apisense/internal/attack"
+	"apisense/internal/evalcache"
 	"apisense/internal/geo"
 	"apisense/internal/lppm"
 	"apisense/internal/metrics"
@@ -133,6 +134,16 @@ type Config struct {
 	// negative) selects runtime.GOMAXPROCS(0); 1 forces a fully
 	// sequential run. Results are byte-identical for any value.
 	Parallelism int
+	// Cache is the optional evaluation cache (see internal/evalcache):
+	// per-user reference-POI memoization, per-trajectory attacker
+	// extraction memoization, whole-selection caching keyed by dataset/
+	// shard content hash, and adaptive portfolio pruning. nil disables
+	// caching. A cache may be shared by several middlewares and used from
+	// concurrent Publish calls; entries are scoped by a configuration
+	// fingerprint, so a config change never serves stale results. For
+	// unchanged inputs, warm reports and releases are byte-identical to
+	// cold ones.
+	Cache evalcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +221,18 @@ type Evaluation struct {
 	// Released is the number of trajectories the strategy releases
 	// (suppression shrinks it).
 	Released int
+	// Pruned reports that adaptive portfolio pruning skipped this
+	// strategy's full POI-recovery attack: a prior run on the same shard
+	// disqualified it at proxy values (released-trajectory count, grid
+	// coverage) at or below this run's. Pruned strategies carry only the
+	// cheap proxies (Released, Coverage), are treated as not meeting the
+	// floor, and can never be selected. Pruning requires Config.Cache and
+	// only ever applies to changed data — unchanged data is served from
+	// the selection cache before pruning is consulted.
+	Pruned bool
+	// PrunedReason records why the strategy was pruned (deterministic,
+	// derived from the prior disqualification and this run's proxies).
+	PrunedReason string
 }
 
 // Selection is the outcome of a Publish run.
@@ -230,6 +253,15 @@ type Selection struct {
 type Middleware struct {
 	cfg        Config
 	strategies []lppm.Mechanism
+	// refExtractor and recovery are the config-derived analysis tools,
+	// built once here rather than once per publish/shard: they depend
+	// only on the middleware configuration, never on the dataset.
+	refExtractor poi.Extractor
+	recovery     *attack.POIRecovery
+	// cache and fp drive the evaluation cache (nil cache = disabled);
+	// see cache.go.
+	cache evalcache.Cache
+	fp    fingerprints
 }
 
 // New creates a middleware instance. If cfg.Strategies is nil the default
@@ -250,7 +282,29 @@ func New(cfg Config, origin geo.Point) (*Middleware, error) {
 	if len(strategies) == 0 {
 		return nil, fmt.Errorf("core: at least one strategy is required")
 	}
-	return &Middleware{cfg: cfg, strategies: strategies}, nil
+	m := &Middleware{cfg: cfg, strategies: strategies, cache: cfg.Cache}
+	m.fp = m.fingerprint()
+	refExtractor, err := poi.NewStayPoints(cfg.POIConfig)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference extractor: %w", err)
+	}
+	m.refExtractor = refExtractor
+	attacker, err := poi.NewStayPoints(poi.StayPointConfig{
+		MaxDistance: cfg.AttackRadius,
+		MinDuration: cfg.POIConfig.MinDuration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: attacker extractor: %w", err)
+	}
+	var attackExtractor poi.Extractor = attacker
+	if m.cache != nil {
+		attackExtractor = cachingExtractor{inner: attacker, cache: m.cache, fp: m.fp.attack}
+	}
+	m.recovery, err = attack.NewPOIRecovery(attackExtractor, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery attack: %w", err)
+	}
+	return m, nil
 }
 
 // Strategies returns the names of the candidate strategies.
@@ -265,14 +319,10 @@ func (m *Middleware) Strategies() []string {
 // ReferencePOIs extracts the per-user reference POIs from the raw dataset —
 // the middleware's global knowledge of what must be hidden.
 func (m *Middleware) ReferencePOIs(raw *trace.Dataset) (map[string][]geo.Point, error) {
-	sp, err := poi.NewStayPoints(m.cfg.POIConfig)
-	if err != nil {
-		return nil, fmt.Errorf("core: reference extractor: %w", err)
-	}
-	perUser := poi.ExtractAll(sp, raw)
+	perUser := poi.ExtractAll(m.refExtractor, raw)
 	out := make(map[string][]geo.Point, len(perUser))
 	for user, pois := range perUser {
-		places := poi.Merge(pois, 250)
+		places := poi.Merge(pois, refPOIMergeRadius)
 		pts := make([]geo.Point, len(places))
 		for i, p := range places {
 			pts[i] = p.Center

@@ -6,25 +6,28 @@ import (
 	"sync"
 	"time"
 
-	"apisense/internal/attack"
 	"apisense/internal/geo"
 	"apisense/internal/lppm"
 	"apisense/internal/metrics"
 	"apisense/internal/par"
-	"apisense/internal/poi"
 	"apisense/internal/trace"
 )
 
 // evalContext is the per-run shared state of the evaluation engine: the
 // middleware's global knowledge, computed once per Publish/Evaluate run and
 // then read concurrently by every strategy worker. All fields are immutable
-// after newEvalContext returns.
+// after newEvalContext returns. The attacker extractor and recovery attack
+// live on the Middleware itself (they depend only on configuration, see
+// New), so a run only derives the dataset-dependent state here.
 type evalContext struct {
 	raw        *trace.Dataset
 	truth      map[string][]geo.Point
-	recovery   *attack.POIRecovery
 	grid       *geo.Grid
 	rawDensity metrics.Density
+	// rawHash is the content hash of raw, set only when a cache is
+	// configured; pruning uses it to guarantee unchanged content is never
+	// pruned (see pruneRecord).
+	rawHash [trace.HashSize]byte
 	// traffic is the raw-side traffic-forecasting baseline; nil when the
 	// dataset spans fewer than two days (traffic utility is then 0).
 	traffic *trafficBaseline
@@ -44,20 +47,9 @@ func (m *Middleware) newEvalContext(ctx context.Context, raw *trace.Dataset) (*e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	truth, err := m.ReferencePOIs(raw)
+	truth, err := m.referencePOIs(raw)
 	if err != nil {
 		return nil, err
-	}
-	attacker, err := poi.NewStayPoints(poi.StayPointConfig{
-		MaxDistance: m.cfg.AttackRadius,
-		MinDuration: m.cfg.POIConfig.MinDuration,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: attacker extractor: %w", err)
-	}
-	recovery, err := attack.NewPOIRecovery(attacker, 0, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: recovery attack: %w", err)
 	}
 	box, ok := raw.BBox()
 	if !ok {
@@ -73,9 +65,11 @@ func (m *Middleware) newEvalContext(ctx context.Context, raw *trace.Dataset) (*e
 	ec := &evalContext{
 		raw:        raw,
 		truth:      truth,
-		recovery:   recovery,
 		grid:       grid,
 		rawDensity: metrics.UserDensity(raw, grid),
+	}
+	if m.cache != nil {
+		ec.rawHash = raw.ContentHash()
 	}
 	ec.traffic = newTrafficBaseline(raw, grid)
 	return ec, nil
@@ -165,7 +159,16 @@ func (w *winner) offer(i int, ev Evaluation, prot *trace.Dataset) {
 
 // evaluateStrategy scores one strategy against the shared context,
 // protecting the dataset on up to parallelism trajectory workers.
-func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lppm.Mechanism, parallelism int) (Evaluation, *trace.Dataset, error) {
+//
+// A non-empty pruneKey enables adaptive portfolio pruning: the cheap
+// proxies (released-trajectory count and grid coverage, both computed
+// before the attack) are compared against the record of this strategy's
+// last floor failure on the same shard. Both proxies grow with the amount
+// of location evidence the release exposes, so when the data only grew the
+// strategy is disqualified again without running the POI-recovery attack.
+// Pruned evaluations carry only the proxies and can never win; a full
+// evaluation that fails the floor refreshes the record.
+func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lppm.Mechanism, parallelism int, pruneKey string) (Evaluation, *trace.Dataset, error) {
 	prot, err := lppm.ProtectDatasetContext(ctx, s, ec.raw, parallelism)
 	if err != nil {
 		return Evaluation{}, nil, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
@@ -175,14 +178,23 @@ func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lp
 	}
 	ev := Evaluation{
 		Strategy: s.Name(),
-		Privacy:  ec.recovery.Run(ec.truth, prot),
 		Released: prot.Len(),
+		Coverage: metrics.Coverage(ec.raw, prot, ec.grid),
 	}
+	if rec, ok := m.loadPruneRecord(pruneKey, ev.Strategy); ok && rec.Hash != ec.rawHash &&
+		rec.Released <= ev.Released && rec.Coverage <= ev.Coverage {
+		ev.Pruned = true
+		ev.PrunedReason = fmt.Sprintf(
+			"failed privacy floor at released=%d coverage=%.4f; now released=%d coverage=%.4f",
+			rec.Released, rec.Coverage, ev.Released, ev.Coverage)
+		m.cache.AddPruned(1)
+		return ev, nil, nil
+	}
+	ev.Privacy = m.recovery.Run(ec.truth, prot)
 	ev.MeetsFloor = ev.Privacy.F1() <= m.cfg.MaxPOIExposure
 	ev.HotspotOverlap = metrics.TopKOverlap(ec.rawDensity, metrics.UserDensity(prot, ec.grid), m.cfg.TopK)
 	ev.TrafficUtility = ec.trafficUtility(prot)
 	ev.Distortion = metrics.SpatialDistortion(ec.raw, prot)
-	ev.Coverage = metrics.Coverage(ec.raw, prot, ec.grid)
 	switch m.cfg.Objective {
 	case ObjectiveTraffic:
 		ev.Utility = ev.TrafficUtility
@@ -190,6 +202,11 @@ func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lp
 		ev.Utility = 1 / (1 + ev.Distortion.Mean/250)
 	default:
 		ev.Utility = ev.HotspotOverlap
+	}
+	if !ev.MeetsFloor {
+		m.storePruneRecord(pruneKey, ev.Strategy, pruneRecord{
+			Released: ev.Released, Coverage: ev.Coverage, Hash: ec.rawHash,
+		})
 	}
 	return ev, prot, nil
 }
@@ -205,8 +222,10 @@ func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lp
 //
 // When track is non-nil every outcome is offered to it, retaining the best
 // floor-meeting protected dataset for Publish; a nil track (Evaluate)
-// keeps no protected data at all.
-func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track *winner, budget int) ([]Evaluation, error) {
+// keeps no protected data at all. pruneKey scopes adaptive pruning (see
+// evaluateStrategy); empty disables it, which Evaluate relies on to stay a
+// pure scorecard.
+func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track *winner, budget int, pruneKey string) ([]Evaluation, error) {
 	ec, err := m.newEvalContext(ctx, raw)
 	if err != nil {
 		return nil, err
@@ -222,7 +241,7 @@ func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track 
 	inner := budget / workers // workers >= 1: New requires a non-empty portfolio
 	evals := make([]Evaluation, n)
 	err = par.For(ctx, n, workers, func(ctx context.Context, i int) error {
-		ev, prot, err := m.evaluateStrategy(ctx, ec, m.strategies[i], inner)
+		ev, prot, err := m.evaluateStrategy(ctx, ec, m.strategies[i], inner, pruneKey)
 		if err != nil {
 			return err
 		}
@@ -243,7 +262,10 @@ func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track 
 // Config.Parallelism; evaluations appear in portfolio order. The run is
 // abandoned promptly when ctx is cancelled.
 func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([]Evaluation, error) {
-	return m.evaluateAll(ctx, raw, nil, m.cfg.Parallelism)
+	// No selection caching and no pruning: Evaluate is a pure scorecard and
+	// must always report the full attack for every strategy. It still
+	// benefits from the reference-POI and attacker-extraction memoization.
+	return m.evaluateAll(ctx, raw, nil, m.cfg.Parallelism, "")
 }
 
 // Evaluate scores every candidate strategy against the raw dataset. It is
@@ -251,6 +273,28 @@ func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([
 func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
 	//lint:allow ctxflow convenience wrapper, EvaluateContext is the cancellable form
 	return m.EvaluateContext(context.Background(), raw)
+}
+
+// selectStrategies is the cached selection step shared by PublishContext
+// and publishShard: evaluate the portfolio with winner tracking, or serve
+// the whole result (scorecard, winner index, pre-pseudonymisation protected
+// dataset) from the evaluation cache when the dataset content and the
+// configuration fingerprint match a prior run. Cache hits bypass pruning
+// entirely, so unchanged data always reports the full cold scorecard.
+func (m *Middleware) selectStrategies(ctx context.Context, raw *trace.Dataset, pruneKey string, budget int) ([]Evaluation, int, *trace.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, -1, nil, err
+	}
+	if cs, ok := m.loadSelection(raw); ok {
+		return cs.evals, cs.winIdx, cs.prot, nil
+	}
+	track := &winner{idx: -1}
+	evals, err := m.evaluateAll(ctx, raw, track, budget, pruneKey)
+	if err != nil {
+		return nil, -1, nil, err
+	}
+	m.storeSelection(raw, evals, track.idx, track.prot)
+	return evals, track.idx, track.prot, nil
 }
 
 // PublishContext evaluates the portfolio, selects the best strategy meeting
@@ -261,8 +305,7 @@ func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
 // returns ErrNoStrategy and a selection whose Chosen field is empty. The
 // run is abandoned promptly when ctx is cancelled.
 func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
-	track := &winner{idx: -1}
-	evals, err := m.evaluateAll(ctx, raw, track, m.cfg.Parallelism)
+	evals, winIdx, prot, err := m.selectStrategies(ctx, raw, monolithicPruneKey, m.cfg.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -271,12 +314,11 @@ func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*t
 		Floor:       m.cfg.MaxPOIExposure,
 		Evaluations: evals,
 	}
-	if track.idx < 0 {
+	if winIdx < 0 {
 		return nil, sel, ErrNoStrategy
 	}
-	sel.Chosen = evals[track.idx].Strategy
+	sel.Chosen = evals[winIdx].Strategy
 
-	prot := track.prot
 	if len(m.cfg.PseudonymKey) > 0 {
 		p, err := trace.NewPseudonymizer(m.cfg.PseudonymKey)
 		if err != nil {

@@ -287,13 +287,15 @@ type shardResult struct {
 
 // publishShard runs the selection engine on one shard with the given
 // worker budget, returning the scorecard and the winner's protected data.
+// Selection is cached per shard-content hash (see selectStrategies), so an
+// incremental re-publication only evaluates the shards whose data changed;
+// the shard key scopes the pruning records.
 func (m *Middleware) publishShard(ctx context.Context, sh Shard, budget int) (shardResult, error) {
-	track := &winner{idx: -1}
-	evals, err := m.evaluateAll(ctx, sh.Data, track, budget)
+	evals, winIdx, prot, err := m.selectStrategies(ctx, sh.Data, sh.Key, budget)
 	if err != nil {
 		return shardResult{}, fmt.Errorf("core: shard %s: %w", sh.Key, err)
 	}
-	return shardResult{evals: evals, winIdx: track.idx, prot: track.prot}, nil
+	return shardResult{evals: evals, winIdx: winIdx, prot: prot}, nil
 }
 
 // PublishShardedContext partitions raw with by, runs the strategy-selection

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"apisense/internal/evalcache"
 	"apisense/internal/geo"
 	"apisense/internal/ingest"
 	"apisense/internal/transport"
@@ -319,8 +320,13 @@ func (h *Hive) Uploads(taskID string) ([]transport.Upload, error) {
 // (queue depth, accepted/rejected/dropped counters, group commits).
 type IngestStats = ingest.Stats
 
-// Stats summarises the Hive state. Ingest is populated by the HTTP layer
-// when the server runs with an ingest queue (see WithIngestQueue).
+// EvalCacheStats are the evaluation-cache gauges of an attached cache
+// (entries, bytes, hits, misses, evictions, pruned strategies).
+type EvalCacheStats = evalcache.Stats
+
+// Stats summarises the Hive state. Ingest and EvalCache are populated by
+// the HTTP layer when the server runs with the corresponding subsystem
+// (see WithIngestQueue and WithEvalCache).
 type Stats struct {
 	Devices int `json:"devices"`
 	Tasks   int `json:"tasks"`
@@ -328,6 +334,8 @@ type Stats struct {
 	Records int `json:"records"`
 	// Ingest snapshots the ingest queue, when one is wired in.
 	Ingest *IngestStats `json:"ingest,omitempty"`
+	// EvalCache snapshots the evaluation cache, when one is wired in.
+	EvalCache *EvalCacheStats `json:"eval_cache,omitempty"`
 }
 
 // Stats returns current platform statistics.

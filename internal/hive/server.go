@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"apisense/internal/evalcache"
 	"apisense/internal/ingest"
 	"apisense/internal/transport"
 )
@@ -28,9 +29,10 @@ import (
 // queue: a full queue answers 429 Too Many Requests with a Retry-After
 // header instead of admitting unbounded work.
 type Server struct {
-	hive  *Hive
-	queue *ingest.Queue // nil = synchronous ingestion
-	mux   *http.ServeMux
+	hive      *Hive
+	queue     *ingest.Queue   // nil = synchronous ingestion
+	evalCache evalcache.Cache // nil = no cache gauges
+	mux       *http.ServeMux
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -44,6 +46,14 @@ type ServerOption func(*Server)
 // lifecycle (Close on shutdown, after the HTTP server stops).
 func WithIngestQueue(q *ingest.Queue) ServerOption {
 	return func(s *Server) { s.queue = q }
+}
+
+// WithEvalCache surfaces the evaluation cache's gauges (entries, bytes,
+// hits, misses, evictions, pruned strategies) under /api/stats. The cache
+// itself is owned by whoever runs the publication engine — the server only
+// reads its statistics.
+func WithEvalCache(c evalcache.Cache) ServerOption {
+	return func(s *Server) { s.evalCache = c }
 }
 
 // NewServer wraps a Hive with its HTTP API.
@@ -289,6 +299,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.queue != nil {
 		qs := s.queue.Stats()
 		st.Ingest = &qs
+	}
+	if s.evalCache != nil {
+		cs := s.evalCache.Stats()
+		st.EvalCache = &cs
 	}
 	writeJSON(w, http.StatusOK, st)
 }

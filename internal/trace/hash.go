@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Canonical content hashing. The evaluation cache (internal/evalcache)
+// addresses entries by what the data *is*, not where it came from, so the
+// digest must be a pure function of the observable trajectory content:
+// user identifier, record timestamps (as UTC instants), positions and
+// accuracies. Every field is encoded fixed-width little-endian with
+// length prefixes, so distinct contents cannot collide by concatenation
+// ("ab"+"c" vs "a"+"bc") and the digest is stable across processes and
+// architectures.
+
+// HashSize is the size in bytes of a content hash (SHA-256).
+const HashSize = sha256.Size
+
+// ContentHash returns the canonical digest of the trajectory: the user
+// identifier plus every record's instant (UnixNano), position and
+// accuracy. Two trajectories have equal hashes iff their observable
+// content is equal; monotonic-clock readings and Location values do not
+// participate (instants compare as absolute time).
+func (t *Trajectory) ContentHash() [HashSize]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeString := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeString(t.User)
+	writeU64(uint64(len(t.Records)))
+	for _, r := range t.Records {
+		writeU64(uint64(r.Time.UnixNano()))
+		writeU64(math.Float64bits(r.Pos.Lat))
+		writeU64(math.Float64bits(r.Pos.Lon))
+		writeU64(math.Float64bits(r.Accuracy))
+	}
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// ContentHash returns the canonical digest of the whole dataset: the
+// trajectory count followed by every trajectory's ContentHash, in dataset
+// order. Order participates deliberately — the publication engine's
+// output (reports, release order) is defined over dataset order, so two
+// datasets that differ only by ordering must not share a cache entry.
+func (d *Dataset) ContentHash() [HashSize]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(d.Trajectories)))
+	h.Write(buf[:])
+	for _, t := range d.Trajectories {
+		th := t.ContentHash()
+		h.Write(th[:])
+	}
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// CombineHashes folds a sequence of content hashes into one digest, in
+// order. The engine uses it to key a user's trajectory set (the
+// trajectories a dataset holds for one user, in dataset order) without
+// materialising a sub-dataset.
+func CombineHashes(hashes ...[HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(hashes)))
+	h.Write(buf[:])
+	for _, hh := range hashes {
+		h.Write(hh[:])
+	}
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"apisense/internal/geo"
+)
+
+func hashFixture() *Trajectory {
+	base := time.Date(2014, 12, 8, 8, 0, 0, 0, time.UTC)
+	return &Trajectory{
+		User: "user-1",
+		Records: []Record{
+			{Time: base, Pos: geo.Point{Lat: 45.76, Lon: 4.83}, Accuracy: 5},
+			{Time: base.Add(time.Minute), Pos: geo.Point{Lat: 45.761, Lon: 4.831}},
+		},
+	}
+}
+
+func TestContentHashStable(t *testing.T) {
+	a, b := hashFixture(), hashFixture()
+	if a.ContentHash() != b.ContentHash() {
+		t.Error("identical trajectories must hash identically")
+	}
+	if a.Clone().ContentHash() != a.ContentHash() {
+		t.Error("a clone must hash identically")
+	}
+}
+
+func TestContentHashSensitivity(t *testing.T) {
+	base := hashFixture()
+	mutations := map[string]func(*Trajectory){
+		"user":      func(tr *Trajectory) { tr.User = "user-2" },
+		"time":      func(tr *Trajectory) { tr.Records[0].Time = tr.Records[0].Time.Add(time.Nanosecond) },
+		"lat":       func(tr *Trajectory) { tr.Records[1].Pos.Lat += 1e-9 },
+		"lon":       func(tr *Trajectory) { tr.Records[1].Pos.Lon -= 1e-9 },
+		"accuracy":  func(tr *Trajectory) { tr.Records[0].Accuracy = 6 },
+		"dropped":   func(tr *Trajectory) { tr.Records = tr.Records[:1] },
+		"appended":  func(tr *Trajectory) { tr.Records = append(tr.Records, tr.Records[0]) },
+		"userSplit": func(tr *Trajectory) { tr.User = "user-"; tr.Records = tr.Records[:0] },
+	}
+	want := base.ContentHash()
+	for name, mutate := range mutations {
+		tr := hashFixture()
+		mutate(tr)
+		if tr.ContentHash() == want {
+			t.Errorf("mutation %q did not change the content hash", name)
+		}
+	}
+}
+
+func TestContentHashTimezoneInsensitive(t *testing.T) {
+	a, b := hashFixture(), hashFixture()
+	paris := time.FixedZone("CET", 3600)
+	for i := range b.Records {
+		b.Records[i].Time = b.Records[i].Time.In(paris)
+	}
+	if a.ContentHash() != b.ContentHash() {
+		t.Error("the same instant in a different zone must hash identically")
+	}
+}
+
+func TestDatasetContentHashOrderSensitive(t *testing.T) {
+	t1, t2 := hashFixture(), hashFixture()
+	t2.User = "user-2"
+	a := &Dataset{Trajectories: []*Trajectory{t1, t2}}
+	b := &Dataset{Trajectories: []*Trajectory{t2, t1}}
+	if a.ContentHash() == b.ContentHash() {
+		t.Error("dataset order must participate in the hash")
+	}
+	c := &Dataset{Trajectories: []*Trajectory{t1, t2}}
+	if a.ContentHash() != c.ContentHash() {
+		t.Error("equal datasets must hash identically")
+	}
+	if NewDataset().ContentHash() == a.ContentHash() {
+		t.Error("empty dataset must not collide with a populated one")
+	}
+}
+
+func TestCombineHashes(t *testing.T) {
+	h1, h2 := hashFixture().ContentHash(), func() [HashSize]byte {
+		tr := hashFixture()
+		tr.User = "other"
+		return tr.ContentHash()
+	}()
+	if CombineHashes(h1, h2) == CombineHashes(h2, h1) {
+		t.Error("combine must be order-sensitive")
+	}
+	if CombineHashes(h1) == CombineHashes(h1, h1) {
+		t.Error("combine must be length-sensitive")
+	}
+	if CombineHashes(h1, h2) != CombineHashes(h1, h2) {
+		t.Error("combine must be deterministic")
+	}
+}
