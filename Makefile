@@ -7,7 +7,7 @@ GO ?= go
 # Benchmarks whose ns/op are tracked against BENCH_baseline.json.
 TRACKED_BENCH := BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch
 
-.PHONY: all build lint test race check bench-refresh fmt
+.PHONY: all build lint docs test race check bench-refresh fmt
 
 all: check
 
@@ -15,12 +15,22 @@ build:
 	$(GO) build ./...
 
 # lint = formatting, go vet, and the project's own analysis suite
-# (cmd/apisenselint: lockfsync, detrange, ctxflow, errcode, detseed).
+# (cmd/apisenselint: lockfsync, detrange, ctxflow, errcode, detseed,
+# doccomment). Includes the docs gate below, since apisenselint runs the
+# doccomment analyzer over its scoped packages.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/apisenselint ./...
+
+# docs fails when any exported symbol of the operator-facing packages
+# (the surfaces docs/OPERATIONS.md and docs/ARCHITECTURE.md document)
+# lacks a doc comment — the doccomment analyzer scoped to exactly those
+# packages.
+docs:
+	$(GO) run ./cmd/apisenselint ./internal/hive ./internal/ingest \
+		./internal/core ./internal/obs ./internal/apierr
 
 test:
 	$(GO) test ./...

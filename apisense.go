@@ -35,6 +35,7 @@ import (
 	"context"
 	"time"
 
+	"apisense/internal/apierr"
 	"apisense/internal/attack"
 	"apisense/internal/core"
 	"apisense/internal/device"
@@ -48,6 +49,7 @@ import (
 	"apisense/internal/lppm"
 	"apisense/internal/metrics"
 	"apisense/internal/mobgen"
+	"apisense/internal/obs"
 	"apisense/internal/poi"
 	"apisense/internal/script"
 	"apisense/internal/secagg"
@@ -458,3 +460,62 @@ func NewHistogramSession(pk *PaillierPublicKey, cells int) (*HistogramSession, e
 
 // EncryptContribution encrypts a device's count vector.
 var EncryptContribution = secagg.EncryptContribution
+
+// ---- observability ----
+
+// Observability types. Build one MetricsRegistry per process, register the
+// subsystem instruments on it (NewHiveMetrics, NewEngineMetrics,
+// IngestConfig.Metrics via NewIngestMetrics), and serve it — the registry
+// is an http.Handler emitting Prometheus text format — or pass it to the
+// Hive server with WithMetrics, which also mounts GET /metrics. Every hook
+// is nil-safe: a zero Config publishes nothing and pays nothing. See
+// docs/OPERATIONS.md for the series catalogue.
+type (
+	// MetricsRegistry is the dependency-free Prometheus-text-format
+	// registry (see internal/obs).
+	MetricsRegistry = obs.Registry
+	// EngineMetrics instruments the publication engine's hot paths; set
+	// it on PrivacyConfig.Metrics.
+	EngineMetrics = core.EngineMetrics
+	// HiveMetrics instruments the Hive HTTP surface and registry state;
+	// pass it to the server with WithMetrics.
+	HiveMetrics = hive.Metrics
+	// IngestMetrics instruments the ingest queue's drain path; set it on
+	// IngestConfig.Metrics.
+	IngestMetrics = ingest.Metrics
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEngineMetrics registers the engine latency histograms on reg.
+func NewEngineMetrics(reg *MetricsRegistry) *EngineMetrics { return core.NewEngineMetrics(reg) }
+
+// NewHiveMetrics registers the Hive HTTP and state instruments on reg.
+func NewHiveMetrics(reg *MetricsRegistry) *HiveMetrics { return hive.NewMetrics(reg) }
+
+// NewIngestMetrics registers the ingest drain instruments on reg.
+func NewIngestMetrics(reg *MetricsRegistry) *IngestMetrics { return ingest.NewMetrics(reg) }
+
+// WithMetrics serves reg at the Hive server's GET /metrics and instruments
+// every route with request, latency and error-code series.
+var WithMetrics = hive.WithMetrics
+
+// ---- coded errors ----
+
+// Every sentinel the platform returns across an API boundary carries a
+// stable machine-readable code ("hive.unknown_task", "ingest.queue_full",
+// ...) and an HTTP category (see internal/apierr and the error-code
+// catalogue in docs/OPERATIONS.md). The Hive server answers errors as
+// {"error": message, "code": code}; the transport client rehydrates the
+// code so errors.Is works across the wire against the same sentinels.
+var (
+	// ErrorCode extracts the stable code of a coded error ("" if uncoded).
+	ErrorCode = apierr.Code
+	// ErrorHTTPStatus maps a coded error's category to its HTTP status
+	// (500 for uncoded errors).
+	ErrorHTTPStatus = apierr.HTTPStatus
+	// RemoteError rehydrates a wire code into an error matchable with
+	// errors.Is against the package sentinels.
+	RemoteError = apierr.Remote
+)

@@ -29,6 +29,7 @@ import (
 	"apisense/internal/analysis/ctxflow"
 	"apisense/internal/analysis/detrange"
 	"apisense/internal/analysis/detseed"
+	"apisense/internal/analysis/doccomment"
 	"apisense/internal/analysis/errcode"
 	"apisense/internal/analysis/lockfsync"
 )
@@ -60,8 +61,16 @@ var suite = []scoped{
 	{ctxflow.Analyzer, func(path string) bool {
 		return !strings.HasPrefix(path, "apisense/cmd/") && !strings.HasPrefix(path, "apisense/examples/")
 	}},
-	// The error taxonomy guards the HTTP/wire boundary.
-	{errcode.Analyzer, under("apisense/internal/hive", "apisense/internal/transport")},
+	// The error taxonomy guards the HTTP/wire boundary, including the
+	// ingest queue whose sentinels surface as 429/413/503 responses.
+	{errcode.Analyzer, under("apisense/internal/hive", "apisense/internal/transport",
+		"apisense/internal/ingest")},
+	// The operator-facing packages are documentation surface: every
+	// export is cited by docs/OPERATIONS.md or docs/ARCHITECTURE.md, so
+	// an undocumented one is a runbook hole. `make docs` runs exactly
+	// this scope.
+	{doccomment.Analyzer, under("apisense/internal/hive", "apisense/internal/ingest",
+		"apisense/internal/core", "apisense/internal/obs", "apisense/internal/apierr")},
 }
 
 // under matches an import path equal to or below any of the given roots.

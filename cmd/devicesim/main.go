@@ -5,9 +5,15 @@
 // -batch uploads; when the Hive's ingest queue pushes back with 429 the
 // flush retries with jittered backoff.
 //
+// With -metrics ADDR the simulator serves its own Prometheus text
+// endpoint (fleet size, executed tasks, accepted/rejected uploads,
+// backpressure retries) so a scrape sees both sides of an ingestion
+// experiment.
+//
 // Usage (with a Hive running on :8080):
 //
 //	devicesim -hive http://127.0.0.1:8080 -devices 20 -days 1 -wait 30s -batch 8
+//	          [-metrics :9090]
 package main
 
 import (
@@ -17,10 +23,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"apisense/internal/device"
 	"apisense/internal/mobgen"
+	"apisense/internal/obs"
 	"apisense/internal/transport"
 )
 
@@ -40,9 +48,16 @@ func run(args []string) error {
 	wait := fs.Duration("wait", 30*time.Second, "how long to poll for tasks")
 	poll := fs.Duration("poll", 2*time.Second, "task poll interval")
 	batch := fs.Int("batch", 8, "uploads buffered per batch flush")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus text metrics on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Fleet-side counters, exported when -metrics is set. Atomics so the
+	// scrape handler can read them while the drive loop writes; retries is
+	// a snapshot of uploader.Retries taken on the drive goroutine, which
+	// owns the uploader.
+	var accepted, rejected, executedTotal, retries atomic.Int64
 
 	ds, city, err := mobgen.Generate(mobgen.Config{Seed: *seed, Users: *n, Days: *days})
 	if err != nil {
@@ -73,9 +88,41 @@ func run(args []string) error {
 	})
 	logFlush := func(resp *transport.UploadBatchResponse) {
 		if resp != nil && len(resp.Results) > 0 {
+			accepted.Add(int64(resp.Accepted))
+			rejected.Add(int64(resp.Rejected))
 			log.Printf("flushed batch: %d accepted, %d rejected (%d backpressure retries so far)",
 				resp.Accepted, resp.Rejected, uploader.Retries)
 		}
+		retries.Store(int64(uploader.Retries))
+	}
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.GaugeFunc("devicesim_devices",
+			"Simulated devices registered with the Hive.",
+			func() float64 { return float64(len(devices)) })
+		reg.CounterFunc("devicesim_tasks_executed_total",
+			"Task instances executed across the fleet.",
+			func() float64 { return float64(executedTotal.Load()) })
+		reg.CounterFunc("devicesim_uploads_accepted_total",
+			"Uploads the Hive accepted from this fleet.",
+			func() float64 { return float64(accepted.Load()) })
+		reg.CounterFunc("devicesim_uploads_rejected_total",
+			"Uploads the Hive rejected from this fleet.",
+			func() float64 { return float64(rejected.Load()) })
+		reg.CounterFunc("devicesim_backpressure_retries_total",
+			"Batch flushes resubmitted after a 429 from the Hive.",
+			func() float64 { return float64(retries.Load()) })
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg)
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("metrics: serving GET /metrics on %s", *metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		defer srv.Close()
 	}
 	done := make(map[string]bool) // deviceID/taskID pairs already executed
 	deadline := time.Now().Add(*wait)
@@ -105,6 +152,7 @@ func run(args []string) error {
 				}
 				logFlush(resp)
 				executed++
+				executedTotal.Add(1)
 				log.Printf("device %s executed %s: %d records (%d filtered), battery %.1f%%",
 					d.ID(), spec.ID, len(res.Upload.Records), res.Dropped, d.Battery().Level())
 			}

@@ -9,10 +9,15 @@
 // stops taking requests, the queue drains, and the journal is synced and
 // closed, so no acknowledged upload is lost.
 //
+// With -metrics the server exposes GET /metrics in Prometheus text
+// format: queue depth and drain latency, journal fsyncs, per-task upload
+// counters, per-route HTTP request/latency/error-code series — the full
+// catalogue is in docs/OPERATIONS.md.
+//
 // Usage:
 //
 //	hive [-addr :8080] [-journal hive.journal] [-sync-every 1]
-//	     [-queue 256] [-batch 256] [-drain-workers 1]
+//	     [-queue 256] [-batch 256] [-drain-workers 1] [-metrics]
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"apisense/internal/hive"
 	"apisense/internal/ingest"
+	"apisense/internal/obs"
 )
 
 func main() {
@@ -47,8 +53,14 @@ func run(args []string) error {
 	maxBatch := fs.Int("batch", 256, "max uploads coalesced into one group commit")
 	drainWorkers := fs.Int("drain-workers", 1, "ingest drain worker pool size (1 maximises group-commit coalescing; the Hive serialises commits anyway)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	metrics := fs.Bool("metrics", false, "expose Prometheus text metrics at GET /metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 
 	var (
@@ -74,10 +86,17 @@ func run(args []string) error {
 			Capacity: *queueSize,
 			MaxBatch: *maxBatch,
 			Workers:  *drainWorkers,
+			Metrics:  ingest.NewMetrics(reg), // nil reg = disabled
 		})
 		opts = append(opts, hive.WithIngestQueue(q))
 		log.Printf("ingest queue: %d batch slots, %d drain workers, group commits of <= %d uploads",
 			*queueSize, *drainWorkers, *maxBatch)
+	}
+	if reg != nil {
+		// BindHive (inside NewServer) picks up the journal fsync counter
+		// too, since the journal is already attached to h here.
+		opts = append(opts, hive.WithMetrics(hive.NewMetrics(reg)))
+		log.Printf("metrics: serving Prometheus text format at GET /metrics")
 	}
 
 	srv := &http.Server{

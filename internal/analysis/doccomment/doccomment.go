@@ -1,0 +1,142 @@
+// Package doccomment enforces the documentation contract of the
+// operator-facing packages: every exported symbol — function, method on
+// an exported type, type, and package-level var or const — must carry a
+// doc comment. The scoped packages (hive, ingest, core, obs, apierr) are
+// the surfaces docs/OPERATIONS.md and docs/ARCHITECTURE.md are written
+// against; an undocumented export there is a hole in the runbook.
+//
+// A const or var group documents all of its members when the group
+// declaration itself has a doc comment; individual specs inside a
+// documented group need none of their own.
+package doccomment
+
+import (
+	"go/ast"
+	"go/token"
+
+	"apisense/internal/analysis"
+)
+
+// Analyzer flags exported symbols that lack a doc comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccomment",
+	Doc: "Exported symbols in operator-facing packages need doc comments: the " +
+		"Makefile docs target and CI lint fail on any exported func, method, " +
+		"type, var or const without one. Grouped var/const declarations may be " +
+		"documented once at the group level.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// exportedTypes collects the package's exported named types first, so
+	// methods are only demanded docs when their receiver is itself part of
+	// the documented API surface.
+	exportedTypes := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+					exportedTypes[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d, exportedTypes)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc demands a doc comment on exported functions and on exported
+// methods of exported receiver types.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, exportedTypes map[string]bool) {
+	if !fd.Name.IsExported() || fd.Doc.Text() != "" {
+		return
+	}
+	kind := "function"
+	if fd.Recv != nil {
+		recv := receiverTypeName(fd.Recv)
+		if !exportedTypes[recv] {
+			return // method on an unexported type: not API surface
+		}
+		kind = "method"
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported %s %s has no doc comment; document it (the docs target fails without one)", kind, fd.Name.Name)
+}
+
+// checkGen demands doc comments on exported types and on exported
+// package-level vars and consts, honouring group-level docs.
+func checkGen(pass *analysis.Pass, gd *ast.GenDecl) {
+	groupDoc := gd.Doc.Text() != ""
+	switch gd.Tok {
+	case token.TYPE:
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			// An undocumented single-type declaration can carry the doc on
+			// the group; either place satisfies godoc. Trailing same-line
+			// comments do not count — gofmt convention puts docs above.
+			if ts.Doc.Text() == "" && !groupDoc {
+				pass.Reportf(ts.Name.Pos(),
+					"exported type %s has no doc comment; document it (the docs target fails without one)", ts.Name.Name)
+			}
+		}
+	case token.VAR, token.CONST:
+		if groupDoc {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if vs.Doc.Text() != "" {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(),
+						"exported %s %s has no doc comment; document it (the docs target fails without one)", gd.Tok, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver down to its base type name,
+// through pointers and type parameters.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

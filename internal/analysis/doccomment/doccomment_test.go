@@ -1,0 +1,12 @@
+package doccomment_test
+
+import (
+	"testing"
+
+	"apisense/internal/analysis/analysistest"
+	"apisense/internal/analysis/doccomment"
+)
+
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, "testdata", doccomment.Analyzer, "doccomment")
+}

@@ -1,0 +1,52 @@
+// Package doccomment is the fixture for the doccomment analyzer: every
+// exported symbol needs a doc comment.
+package doccomment
+
+// Documented is a documented exported function: fine.
+func Documented() {}
+
+func Bare() {} // want "exported function Bare has no doc comment"
+
+func unexported() {} // fine: not API surface
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Spin is a documented method.
+func (w *Widget) Spin() {}
+
+func (w *Widget) Stop() {} // want "exported method Stop has no doc comment"
+
+func (w *Widget) reset() {} // fine: unexported method
+
+type gadget struct{}
+
+// Run is exported, but gadget is not API surface, so no doc is demanded.
+func (g gadget) Run() {}
+
+type Gizmo struct{} // want "exported type Gizmo has no doc comment"
+
+// Exported consts in a documented group are covered by the group doc.
+const (
+	ModeOff = iota
+	ModeOn
+)
+
+const (
+	LevelLow  = 1 // want "exported const LevelLow has no doc comment"
+	LevelHigh = 2 // want "exported const LevelHigh has no doc comment"
+)
+
+// DefaultName documents a single var.
+var DefaultName = "fixture"
+
+var MaxRetries = 3 // want "exported var MaxRetries has no doc comment"
+
+var internalState int // fine: unexported
+
+// Suppression works like everywhere else in the suite.
+var Legacy = 0 //lint:allow doccomment grandfathered export, documented in the migration issue
+
+var _ = unexported
+var _ = internalState
+var _ = gadget{}

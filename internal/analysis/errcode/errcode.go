@@ -1,13 +1,17 @@
 // Package errcode enforces the error taxonomy at API boundaries: code in
-// scoped packages (the Hive HTTP layer and the transport wire types) must
-// return errors that wrap a coded sentinel with %w, never naked strings.
-// The HTTP layer maps sentinels to status codes with errors.Is (see
-// internal/hive.writeError); an unwrapped fmt.Errorf or inline errors.New
-// is invisible to that mapping and surfaces as an uncategorised 500/400.
+// scoped packages (the Hive HTTP layer, the transport wire types and the
+// ingest queue) must return errors that wrap a coded sentinel with %w,
+// never naked strings — and the sentinels themselves must be built with
+// apierr.New, so each carries a stable wire code and an HTTP category.
+// The HTTP layer maps categories to status codes via apierr.HTTPStatus
+// (see internal/hive.Server.writeError); an unwrapped fmt.Errorf, an
+// inline errors.New, or an uncoded errors.New sentinel is invisible to
+// that mapping and surfaces as an uncategorised 500.
 package errcode
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 
 	"apisense/internal/analysis"
@@ -17,17 +21,35 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "errcode",
 	Doc: "Boundary packages must return coded errors: every fmt.Errorf needs a %w " +
-		"verb wrapping a package sentinel, and errors.New may only define " +
-		"package-level sentinels. This keeps the HTTP status mapping (errors.Is " +
-		"over the hive/transport taxonomy) exhaustive.",
+		"verb wrapping a package sentinel, errors.New is banned outright — " +
+		"package-level sentinels are built with apierr.New so they carry a " +
+		"stable code and HTTP category. This keeps the status mapping " +
+		"(apierr.HTTPStatus over the taxonomy) exhaustive.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
-			// Package-level var blocks are where sentinels live; calls
-			// inside them are the taxonomy, not violations.
+			// Package-level var blocks are where sentinels live — but a
+			// sentinel defined with errors.New has no code or category, so
+			// the HTTP layer would map it to an uncategorised 500. Demand
+			// apierr.New there.
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				ast.Inspect(gd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call); ok &&
+						pkg == "errors" && name == "New" {
+						pass.Reportf(call.Pos(),
+							"package-level sentinel built with errors.New carries no code; use apierr.New so it maps to a stable wire code and HTTP status")
+					}
+					return true
+				})
+				continue
+			}
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue

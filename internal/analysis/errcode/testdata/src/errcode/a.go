@@ -1,5 +1,6 @@
 // Package errcode is the fixture for the errcode analyzer: boundary
-// errors must wrap a coded sentinel with %w.
+// errors must wrap a coded sentinel with %w, and the sentinels themselves
+// must come from apierr.New, not errors.New.
 package errcode
 
 import (
@@ -7,14 +8,32 @@ import (
 	"fmt"
 )
 
-// ErrBad is a package-level sentinel: the sanctioned place for
-// errors.New.
-var ErrBad = errors.New("errcode: bad input")
+// ErrBad is a package-level sentinel, but built with errors.New it has no
+// wire code or HTTP category.
+var ErrBad = errors.New("errcode: bad input") // want "package-level sentinel built with errors.New carries no code"
 
-// Sentinel groups are fine too.
+// Sentinel groups are scanned too.
 var (
-	ErrGone = errors.New("errcode: gone")
+	ErrGone = errors.New("errcode: gone") // want "use apierr.New"
 )
+
+// errLegacy documents the escape hatch for sentinels that never cross the
+// wire.
+var (
+	//lint:allow errcode process-internal sentinel, never serialised
+	errLegacy = errors.New("errcode: legacy")
+)
+
+// errCoded stands in for an apierr.New sentinel: arbitrary non-errors.New
+// constructors are the taxonomy, not violations. (Fixtures import only
+// the standard library, so the real constructor is simulated.)
+var errCoded = codedNew("errcode.coded", "errcode: coded")
+
+type codedErr struct{ code, msg string }
+
+func (e *codedErr) Error() string { return e.msg }
+
+func codedNew(code, msg string) error { return &codedErr{code, msg} }
 
 func uncoded() error {
 	return fmt.Errorf("something broke") // want "without %w crosses the API boundary uncoded"
@@ -44,3 +63,6 @@ func suppressed() error {
 func dynamicFormat(format string) error {
 	return fmt.Errorf(format, ErrGone) //nolint // dynamic: analyzer stays quiet
 }
+
+var _ = errCoded
+var _ = errLegacy

@@ -1,0 +1,314 @@
+// Package apierr is the platform's coded error taxonomy. Every error that
+// crosses an API boundary — the Hive HTTP layer, the transport wire types,
+// the ingest queue, the publication engine — wraps a sentinel built with
+// New, which carries:
+//
+//   - a stable string code of the form "package.name" (e.g.
+//     "hive.unknown_task"), returned in HTTP error bodies and used as the
+//     only error identifier in metrics and logs;
+//   - a Category that determines the HTTP status the Hive maps the error
+//     to and groups codes by operator remediation;
+//   - optional telemetry-safe metadata (see (*Error).With): keys and
+//     values that are safe to export to metrics, traces and aggregated
+//     logs — device and user identifiers MUST NOT appear here, only in
+//     the human-readable message returned to the caller that owns them.
+//
+// Sentinels remain ordinary errors: wrap them with fmt.Errorf("%w: ...",
+// Sentinel) to add call-site context, match them with errors.Is, and
+// extract the coded value with errors.As. Two *Error values compare equal
+// under errors.Is when their codes match, so a client that reconstructs an
+// error from a wire code (see Remote and transport.ErrStatus) can branch
+// on the same sentinels the server used.
+//
+// The shape follows the categorized/telemetry-safe error design of
+// birdnet-go and the validated "package.code" registry of ranger (both in
+// SNIPPETS.md), scaled down to the standard library.
+//
+// Concurrency: sentinels are immutable after New; With and Wrap return
+// clones. Every function and method in this package is safe for
+// unsynchronised concurrent use.
+package apierr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Category groups error codes by the remediation they call for. The Hive
+// HTTP layer derives the response status from the category (see
+// HTTPStatus), so adding a code never requires touching the status
+// mapping.
+type Category string
+
+// The categories of the taxonomy, with the HTTP status each maps to.
+const (
+	// Validation marks structurally invalid input; the caller must fix
+	// the request. HTTP 400.
+	Validation Category = "validation"
+	// NotFound marks a reference to an entity the platform does not
+	// know. HTTP 404.
+	NotFound Category = "not_found"
+	// Forbidden marks an operation the caller is not entitled to. HTTP
+	// 403.
+	Forbidden Category = "forbidden"
+	// Conflict marks a request that is valid but cannot be satisfied in
+	// the current state (no qualifying devices, no strategy meets the
+	// floor). HTTP 409.
+	Conflict Category = "conflict"
+	// ResourceExhausted marks backpressure and quota limits; the caller
+	// should retry later or shed load. HTTP 429.
+	ResourceExhausted Category = "resource_exhausted"
+	// TooLarge marks a payload that can never be admitted at its size;
+	// retrying without splitting it is pointless. HTTP 413.
+	TooLarge Category = "too_large"
+	// Unavailable marks a service that is shutting down or not serving;
+	// retry against another instance or later. HTTP 503.
+	Unavailable Category = "unavailable"
+	// Internal marks platform-side failures (storage, journal, bugs);
+	// the caller cannot fix them. HTTP 500.
+	Internal Category = "internal"
+)
+
+// HTTPStatus returns the HTTP status code the category maps to. Unknown
+// categories map to 500.
+func (c Category) HTTPStatus() int {
+	switch c {
+	case Validation:
+		return 400
+	case NotFound:
+		return 404
+	case Forbidden:
+		return 403
+	case Conflict:
+		return 409
+	case ResourceExhausted:
+		return 429
+	case TooLarge:
+		return 413
+	case Unavailable:
+		return 503
+	default:
+		return 500
+	}
+}
+
+// Error is one coded error. Construct sentinels with New at package level
+// and derive per-call-site values with With/Wrap (or plain fmt.Errorf
+// wrapping); the zero value is not meaningful.
+type Error struct {
+	code     string
+	category Category
+	msg      string
+	meta     map[string]string
+	cause    error
+}
+
+// registry maps every code declared with New to its sentinel so Remote
+// can recover the category of a code that arrived over the wire.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Error{}
+)
+
+// New declares a coded sentinel. code must be "package.name" — lower-case
+// identifiers joined by a single dot — and unique across the process; msg
+// is the stable human-readable message ("hive: unknown task"). New panics
+// on a malformed or duplicate code: sentinels are package-level vars, so
+// the panic fires at init, not in request paths.
+func New(code string, category Category, msg string) *Error {
+	if !validCode(code) {
+		panic(fmt.Sprintf("apierr: malformed code %q: want \"package.name\" in lower_snake identifiers", code))
+	}
+	e := &Error{code: code, category: category, msg: msg}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[code]; dup {
+		panic(fmt.Sprintf("apierr: code %q declared twice", code))
+	}
+	registry[code] = e
+	return e
+}
+
+// validCode reports whether code has the "package.name" shape.
+func validCode(code string) bool {
+	pkg, name, ok := strings.Cut(code, ".")
+	return ok && validIdent(pkg) && validIdent(name)
+}
+
+// validIdent reports whether s is a non-empty lower_snake identifier.
+func validIdent(s string) bool {
+	if s == "" || s[0] == '_' || s[len(s)-1] == '_' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Remote reconstructs the error behind a code that arrived over the wire
+// (an HTTP error body's "code" field). When the code was declared in this
+// process the registered sentinel is returned, category included;
+// otherwise a bare Error carrying only the code (category Internal) is
+// synthesised. Either way errors.Is(Remote(code), Sentinel) holds exactly
+// when the codes match.
+func Remote(code string) *Error {
+	registryMu.RLock()
+	e, ok := registry[code]
+	registryMu.RUnlock()
+	if ok {
+		return e
+	}
+	return &Error{code: code, category: Internal, msg: "remote error " + code}
+}
+
+// Error implements error: the message, then the sorted telemetry-safe
+// metadata, then the wrapped cause.
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString(e.msg)
+	if len(e.meta) > 0 {
+		keys := make([]string, 0, len(e.meta))
+		for k := range e.meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(" (")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k)
+			b.WriteString("=")
+			b.WriteString(e.meta[k])
+		}
+		b.WriteString(")")
+	}
+	if e.cause != nil {
+		b.WriteString(": ")
+		b.WriteString(e.cause.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Is matches any *Error with the same code, making errors.Is hold across
+// process boundaries: a sentinel reconstructed from a wire code (Remote)
+// matches the sentinel the server wrapped.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.code == e.code
+}
+
+// Code returns the stable "package.name" code.
+func (e *Error) Code() string { return e.code }
+
+// Category returns the error's category.
+func (e *Error) Category() Category { return e.category }
+
+// Message returns the stable message without metadata or cause.
+func (e *Error) Message() string { return e.msg }
+
+// Meta returns a copy of the telemetry-safe metadata (nil when empty).
+func (e *Error) Meta() map[string]string {
+	if len(e.meta) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(e.meta))
+	for k, v := range e.meta {
+		out[k] = v
+	}
+	return out
+}
+
+// With clones the error and adds one telemetry-safe metadata pair. Values
+// MUST be safe to export to metrics and aggregated logs: task IDs, counts
+// and limits are; device and user identifiers are NOT — put those in a
+// fmt.Errorf wrapper, which only the requesting client sees.
+func (e *Error) With(key, value string) *Error {
+	c := e.clone()
+	c.meta[key] = value
+	return c
+}
+
+// Wrap clones the error with cause attached, preserving cause in the
+// errors.Is/As chain. Equivalent to fmt.Errorf("%w: %w", e, cause) but
+// keeps the result a coded *Error so further With calls compose.
+func (e *Error) Wrap(cause error) *Error {
+	c := e.clone()
+	c.cause = cause
+	return c
+}
+
+// clone copies the error with a private metadata map.
+func (e *Error) clone() *Error {
+	c := &Error{code: e.code, category: e.category, msg: e.msg, cause: e.cause}
+	c.meta = make(map[string]string, len(e.meta)+1)
+	for k, v := range e.meta {
+		c.meta[k] = v
+	}
+	return c
+}
+
+// Code extracts the stable code of the first *Error in err's chain, or ""
+// when the chain is uncoded.
+func Code(err error) string {
+	if e := find(err); e != nil {
+		return e.code
+	}
+	return ""
+}
+
+// CategoryOf extracts the category of the first *Error in err's chain, or
+// Internal when the chain is uncoded.
+func CategoryOf(err error) Category {
+	if e := find(err); e != nil {
+		return e.category
+	}
+	return Internal
+}
+
+// HTTPStatus maps err to the HTTP status of its category. Uncoded errors
+// map to 500: an error that reaches the HTTP boundary without a code is a
+// platform bug by definition (and cmd/apisenselint's errcode analyzer
+// keeps the boundary packages coded).
+func HTTPStatus(err error) int {
+	return CategoryOf(err).HTTPStatus()
+}
+
+// find walks err's chain for the first *Error, mirroring errors.As
+// without the reflection.
+func find(err error) *Error {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			return e
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() error }:
+			err = x.Unwrap()
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				if e := find(sub); e != nil {
+					return e
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}

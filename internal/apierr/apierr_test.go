@@ -1,0 +1,152 @@
+package apierr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Test sentinels, declared once: New panics on duplicates, so tests share
+// these instead of re-declaring per test case.
+var (
+	errTestNotFound = New("apierrtest.not_found", NotFound, "apierrtest: thing not found")
+	errTestLimit    = New("apierrtest.limit", ResourceExhausted, "apierrtest: limit reached")
+)
+
+func TestNewValidatesCodes(t *testing.T) {
+	bad := []string{
+		"", "nodot", ".leading", "trailing.", "Upper.case", "pkg.Name",
+		"pkg..name", "pkg.na me", "1pkg.name", "pkg.1name", "_pkg.name",
+		"pkg.name_", "pkg.na-me", "a.b.c",
+	}
+	for _, code := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%q) did not panic", code)
+				}
+			}()
+			New(code, Internal, "bad")
+		}()
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate New did not panic")
+		}
+	}()
+	New("apierrtest.not_found", Internal, "dup")
+}
+
+func TestErrorsIsMatchesByCode(t *testing.T) {
+	wrapped := fmt.Errorf("context: %w", errTestNotFound)
+	if !errors.Is(wrapped, errTestNotFound) {
+		t.Error("errors.Is fails through fmt.Errorf wrapping")
+	}
+	if errors.Is(wrapped, errTestLimit) {
+		t.Error("errors.Is matches a different code")
+	}
+	// A reconstructed remote error matches the local sentinel: the
+	// cross-process contract behind transport.ErrStatus.
+	if !errors.Is(Remote("apierrtest.not_found"), errTestNotFound) {
+		t.Error("Remote(code) does not match the registered sentinel")
+	}
+	if !errors.Is(Remote("other.code"), Remote("other.code")) {
+		t.Error("two unregistered remotes with equal codes do not match")
+	}
+}
+
+func TestErrorsAs(t *testing.T) {
+	wrapped := fmt.Errorf("outer: %w", errTestLimit.With("bound", "5"))
+	var coded *Error
+	if !errors.As(wrapped, &coded) {
+		t.Fatal("errors.As cannot extract *Error")
+	}
+	if coded.Code() != "apierrtest.limit" || coded.Meta()["bound"] != "5" {
+		t.Errorf("extracted code=%q meta=%v", coded.Code(), coded.Meta())
+	}
+}
+
+func TestCodeWalksChains(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"nil", nil, ""},
+		{"uncoded", errors.New("plain"), ""},
+		{"direct", errTestNotFound, "apierrtest.not_found"},
+		{"single wrap", fmt.Errorf("ctx: %w", errTestNotFound), "apierrtest.not_found"},
+		{"double wrap", fmt.Errorf("a: %w", fmt.Errorf("b: %w", errTestLimit)), "apierrtest.limit"},
+		{"multi-unwrap first coded", fmt.Errorf("%w: %w", errTestNotFound, errors.New("io")), "apierrtest.not_found"},
+		{"multi-unwrap second coded", fmt.Errorf("%w: %w", errors.New("io"), errTestLimit), "apierrtest.limit"},
+		{"joined", errors.Join(errors.New("x"), errTestNotFound), "apierrtest.not_found"},
+	}
+	for _, tc := range tests {
+		if got := Code(tc.err); got != tc.want {
+			t.Errorf("%s: Code = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestHTTPStatusPerCategory(t *testing.T) {
+	tests := []struct {
+		cat  Category
+		want int
+	}{
+		{Validation, 400}, {NotFound, 404}, {Forbidden, 403}, {Conflict, 409},
+		{ResourceExhausted, 429}, {TooLarge, 413}, {Unavailable, 503},
+		{Internal, 500}, {Category("made_up"), 500},
+	}
+	for _, tc := range tests {
+		if got := tc.cat.HTTPStatus(); got != tc.want {
+			t.Errorf("%s.HTTPStatus = %d, want %d", tc.cat, got, tc.want)
+		}
+	}
+	if got := HTTPStatus(fmt.Errorf("ctx: %w", errTestLimit)); got != 429 {
+		t.Errorf("HTTPStatus(wrapped limit) = %d, want 429", got)
+	}
+	if got := HTTPStatus(errors.New("uncoded")); got != 500 {
+		t.Errorf("HTTPStatus(uncoded) = %d, want 500", got)
+	}
+	if got := HTTPStatus(nil); got != 500 {
+		t.Errorf("HTTPStatus(nil) = %d, want 500", got)
+	}
+}
+
+func TestWithAndWrapAreClones(t *testing.T) {
+	derived := errTestNotFound.With("kind", "task").Wrap(errors.New("lookup miss"))
+	if errTestNotFound.Meta() != nil {
+		t.Errorf("With mutated the sentinel: meta %v", errTestNotFound.Meta())
+	}
+	if errTestNotFound.Unwrap() != nil {
+		t.Error("Wrap mutated the sentinel cause")
+	}
+	if !errors.Is(derived, errTestNotFound) {
+		t.Error("derived error lost its code identity")
+	}
+	msg := derived.Error()
+	for _, want := range []string{"apierrtest: thing not found", "kind=task", "lookup miss"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestErrorMessageMetadataSorted(t *testing.T) {
+	e := errTestLimit.With("zeta", "1").With("alpha", "2")
+	msg := e.Error()
+	if !strings.Contains(msg, "(alpha=2, zeta=1)") {
+		t.Errorf("metadata not sorted: %q", msg)
+	}
+}
+
+func TestRemoteUnknownCode(t *testing.T) {
+	e := Remote("nowhere.known")
+	if e.Code() != "nowhere.known" || e.Category() != Internal {
+		t.Errorf("Remote synthesised code=%q cat=%q", e.Code(), e.Category())
+	}
+}

@@ -144,6 +144,13 @@ type Config struct {
 	// unchanged inputs, warm reports and releases are byte-identical to
 	// cold ones.
 	Cache evalcache.Cache
+	// Metrics, when non-nil, threads latency histograms through the hot
+	// paths (Publish/PublishSharded/Evaluate runs, per-shard selection,
+	// per-strategy evaluation — see NewEngineMetrics). nil — the zero
+	// value — disables instrumentation with no clock reads and no
+	// allocation. Observations never change results: reports stay
+	// byte-identical at any parallelism whether metrics are on or off.
+	Metrics *EngineMetrics
 }
 
 func (c Config) withDefaults() Config {

@@ -169,6 +169,8 @@ func (w *winner) offer(i int, ev Evaluation, prot *trace.Dataset) {
 // Pruned evaluations carry only the proxies and can never win; a full
 // evaluation that fails the floor refreshes the record.
 func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lppm.Mechanism, parallelism int, pruneKey string) (Evaluation, *trace.Dataset, error) {
+	t0 := m.cfg.Metrics.start()
+	defer m.cfg.Metrics.observeStrategy(t0)
 	prot, err := lppm.ProtectDatasetContext(ctx, s, ec.raw, parallelism)
 	if err != nil {
 		return Evaluation{}, nil, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
@@ -262,6 +264,8 @@ func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track 
 // Config.Parallelism; evaluations appear in portfolio order. The run is
 // abandoned promptly when ctx is cancelled.
 func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([]Evaluation, error) {
+	t0 := m.cfg.Metrics.start()
+	defer m.cfg.Metrics.observeEvaluate(t0)
 	// No selection caching and no pruning: Evaluate is a pure scorecard and
 	// must always report the full attack for every strategy. It still
 	// benefits from the reference-POI and attacker-extraction memoization.
@@ -305,6 +309,8 @@ func (m *Middleware) selectStrategies(ctx context.Context, raw *trace.Dataset, p
 // returns ErrNoStrategy and a selection whose Chosen field is empty. The
 // run is abandoned promptly when ctx is cancelled.
 func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
+	t0 := m.cfg.Metrics.start()
+	defer m.cfg.Metrics.observePublish(t0)
 	evals, winIdx, prot, err := m.selectStrategies(ctx, raw, monolithicPruneKey, m.cfg.Parallelism)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"apisense/internal/obs"
+)
+
+// TestMetricsDoNotAffectDeterminism: with EngineMetrics enabled, reports
+// stay byte-identical across parallelism levels and identical to the
+// unmetered run — observations never influence results.
+func TestMetricsDoNotAffectDeterminism(t *testing.T) {
+	ds := fixture(t)
+	run := func(parallelism int, em *EngineMetrics) string {
+		m, err := New(Config{
+			Parallelism: parallelism, PseudonymKey: []byte("det"), Metrics: em,
+		}, lyon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sel, err := m.PublishContext(context.Background(), ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	bare := run(1, nil)
+	for _, parallelism := range []int{1, 4, 8} {
+		reg := obs.NewRegistry()
+		if got := run(parallelism, NewEngineMetrics(reg)); got != bare {
+			t.Errorf("metered report at parallelism %d differs from unmetered baseline:\n%s\nvs\n%s",
+				parallelism, got, bare)
+		}
+	}
+}
+
+// TestEngineMetricsObserve: one Publish run lands observations on the
+// publish and per-strategy histograms.
+func TestEngineMetricsObserve(t *testing.T) {
+	ds := fixture(t)
+	reg := obs.NewRegistry()
+	em := NewEngineMetrics(reg)
+	m, err := New(Config{PseudonymKey: []byte("det"), Metrics: em}, lyon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PublishContext(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := em.publishSeconds.Count(); got != 1 {
+		t.Errorf("publish observations = %d, want 1", got)
+	}
+	if got := em.strategySeconds.Count(); got == 0 {
+		t.Error("no per-strategy observations recorded")
+	}
+	if got := em.evaluateSeconds.Count(); got != 0 {
+		t.Errorf("evaluate observations = %d, want 0 (Publish path only)", got)
+	}
+}
+
+// TestNilEngineMetricsIsFree: the nil hook neither observes nor panics.
+func TestNilEngineMetricsIsFree(t *testing.T) {
+	var em *EngineMetrics
+	t0 := em.start()
+	if !t0.IsZero() {
+		t.Error("nil start read the clock")
+	}
+	em.observePublish(t0)
+	em.observeEvaluate(t0)
+	em.observeShard(t0)
+	em.observeStrategy(t0)
+	if NewEngineMetrics(nil) != nil {
+		t.Error("NewEngineMetrics(nil) should be nil")
+	}
+}

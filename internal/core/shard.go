@@ -291,6 +291,8 @@ type shardResult struct {
 // incremental re-publication only evaluates the shards whose data changed;
 // the shard key scopes the pruning records.
 func (m *Middleware) publishShard(ctx context.Context, sh Shard, budget int) (shardResult, error) {
+	t0 := m.cfg.Metrics.start()
+	defer m.cfg.Metrics.observeShard(t0)
 	evals, winIdx, prot, err := m.selectStrategies(ctx, sh.Data, sh.Key, budget)
 	if err != nil {
 		return shardResult{}, fmt.Errorf("core: shard %s: %w", sh.Key, err)
@@ -319,6 +321,8 @@ func (m *Middleware) publishShard(ctx context.Context, sh Shard, budget int) (sh
 // byte-identical for any Config.Parallelism. The run is abandoned promptly
 // when ctx is cancelled.
 func (m *Middleware) PublishShardedContext(ctx context.Context, raw *trace.Dataset, by ShardBy) (*trace.Dataset, *ShardedSelection, error) {
+	t0 := m.cfg.Metrics.start()
+	defer m.cfg.Metrics.observePublish(t0)
 	if by == nil {
 		return nil, nil, fmt.Errorf("core: a shard policy is required (use PublishContext for monolithic releases)")
 	}

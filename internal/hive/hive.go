@@ -12,30 +12,43 @@
 package hive
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"apisense/internal/apierr"
 	"apisense/internal/evalcache"
 	"apisense/internal/geo"
 	"apisense/internal/ingest"
 	"apisense/internal/transport"
 )
 
-// Sentinel errors of the registry API.
+// Sentinel errors of the registry API. Each is a coded apierr sentinel:
+// the code is returned in HTTP error bodies and counted in metrics, and
+// the category determines the HTTP status (see apierr.HTTPStatus and
+// docs/OPERATIONS.md for the operator-facing catalogue). Wrap with
+// fmt.Errorf("%w: ...", Err) to add call-site context; match with
+// errors.Is.
 var (
-	ErrUnknownDevice       = errors.New("hive: unknown device")
-	ErrUnknownTask         = errors.New("hive: unknown task")
-	ErrNotAssigned         = errors.New("hive: device not assigned to task")
-	ErrNoQualifyingDevices = errors.New("hive: no device qualifies for the task")
+	// ErrUnknownDevice marks a reference to an unregistered device.
+	// HTTP 404.
+	ErrUnknownDevice = apierr.New("hive.unknown_device", apierr.NotFound, "hive: unknown device")
+	// ErrUnknownTask marks a reference to an unpublished task. HTTP 404.
+	ErrUnknownTask = apierr.New("hive.unknown_task", apierr.NotFound, "hive: unknown task")
+	// ErrNotAssigned marks an upload from a device that was not recruited
+	// for the task. HTTP 403.
+	ErrNotAssigned = apierr.New("hive.not_assigned", apierr.Forbidden, "hive: device not assigned to task")
+	// ErrNoQualifyingDevices marks a task publication no registered
+	// device qualifies for. HTTP 409.
+	ErrNoQualifyingDevices = apierr.New("hive.no_qualifying_devices", apierr.Conflict, "hive: no device qualifies for the task")
 	// ErrUploadLimit is returned by SubmitUpload when a task has reached
 	// its per-task upload cap (see SetMaxUploadsPerTask). The HTTP layer
 	// maps it to 429 Too Many Requests.
-	ErrUploadLimit = errors.New("hive: task upload limit reached")
+	ErrUploadLimit = apierr.New("hive.upload_limit", apierr.ResourceExhausted, "hive: task upload limit reached")
 	// ErrInvalidDevice marks a structurally invalid device registration.
 	// The HTTP layer maps it to 400 Bad Request.
-	ErrInvalidDevice = errors.New("hive: invalid device registration")
+	ErrInvalidDevice = apierr.New("hive.invalid_device", apierr.Validation, "hive: invalid device registration")
 )
 
 // DefaultMaxUploadsPerTask is the per-task upload cap of a fresh Hive. The
@@ -44,7 +57,9 @@ var (
 // the service OOMs.
 const DefaultMaxUploadsPerTask = 100000
 
-// Hive is the central coordination service.
+// Hive is the central coordination service. All exported methods are safe
+// for concurrent use; reads take the registry RLock, admissions serialise
+// on the ingest commit lock so the journal sees one writer at a time.
 //
 // Lock order, checked mechanically by cmd/apisenselint (lockfsync):
 //
@@ -58,6 +73,10 @@ type Hive struct {
 	uploadCap   int // per-task; <= 0 means unlimited
 	nextTaskID  int
 	journal     *Journal // optional durability, see journal.go
+
+	// metrics, when bound (see Metrics.BindHive), counts admitted uploads
+	// per task. Atomic so late binding never races SubmitBatch.
+	metrics atomic.Pointer[Metrics]
 
 	// ingestMu serialises whole upload group commits (admit + journal +
 	// fsync) with each other, so h.mu — which every fleet task poll and
@@ -282,6 +301,13 @@ func (h *Hive) SubmitBatch(ups []transport.Upload) []error {
 				errs[i] = err
 			}
 			h.mu.Unlock()
+		}
+	}
+	if m := h.metrics.Load(); m != nil {
+		for _, i := range admitted {
+			if errs[i] == nil {
+				m.taskUploads.With(ups[i].TaskID).Inc()
+			}
 		}
 	}
 	return errs

@@ -9,8 +9,15 @@ import (
 	"os"
 	"sync"
 
+	"apisense/internal/apierr"
 	"apisense/internal/transport"
 )
+
+// ErrJournalIO marks a journal disk failure (open, append, fsync or
+// close). The HTTP layer maps it to 500: acknowledged durability could
+// not be provided, and the affected uploads were rolled back (see
+// Hive.SubmitBatch). Operators should treat it as a disk-health page.
+var ErrJournalIO = apierr.New("hive.journal_io", apierr.Internal, "hive: journal I/O")
 
 // Journal is an append-only JSONL log of Hive state mutations. Attached to
 // a Hive it records every successful registration, unregistration, task
@@ -55,7 +62,7 @@ const (
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("hive: open journal %s: %w", path, err)
+		return nil, fmt.Errorf("%w: open %s: %w", ErrJournalIO, path, err)
 	}
 	return &Journal{f: f, enc: json.NewEncoder(f), syncEvery: 1}, nil
 }
@@ -100,7 +107,7 @@ func (j *Journal) appendEvents(events []event) error {
 	defer j.mu.Unlock()
 	for i := range events {
 		if err := j.enc.Encode(events[i]); err != nil {
-			return fmt.Errorf("hive: journal append: %w", err)
+			return fmt.Errorf("%w: append: %w", ErrJournalIO, err)
 		}
 	}
 	return nil
@@ -125,7 +132,7 @@ func (j *Journal) commitLocked() error {
 	}
 	j.pending = 0
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("hive: journal sync: %w", err)
+		return fmt.Errorf("%w: sync: %w", ErrJournalIO, err)
 	}
 	j.syncs++
 	return nil
@@ -136,10 +143,10 @@ func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("hive: close journal: %w", err)
+		return fmt.Errorf("%w: close sync: %w", ErrJournalIO, err)
 	}
 	if err := j.f.Close(); err != nil {
-		return fmt.Errorf("hive: close journal: %w", err)
+		return fmt.Errorf("%w: close: %w", ErrJournalIO, err)
 	}
 	return nil
 }
@@ -182,14 +189,14 @@ func Recover(path string) (*Hive, *Journal, error) {
 	case errors.Is(err, os.ErrNotExist):
 		// Nothing to replay.
 	case err != nil:
-		return nil, nil, fmt.Errorf("hive: open journal %s: %w", path, err)
+		return nil, nil, fmt.Errorf("%w: open %s: %w", ErrJournalIO, path, err)
 	default:
 		if err := h.replay(f); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
 		if err := f.Close(); err != nil {
-			return nil, nil, fmt.Errorf("hive: close journal %s: %w", path, err)
+			return nil, nil, fmt.Errorf("%w: close %s: %w", ErrJournalIO, path, err)
 		}
 	}
 	j, err := OpenJournal(path)
@@ -212,22 +219,23 @@ func (h *Hive) replay(r io.Reader) error {
 		}
 		var e event
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return fmt.Errorf("hive: journal line %d: %w", line, err)
+			return fmt.Errorf("%w: line %d: %w", ErrCorruptJournal, line, err)
 		}
 		if err := h.apply(e); err != nil {
 			return fmt.Errorf("hive: journal line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("hive: read journal: %w", err)
+		return fmt.Errorf("%w: read: %w", ErrJournalIO, err)
 	}
 	return nil
 }
 
 // ErrCorruptJournal marks a journal event that cannot be replayed:
 // Recover wraps it around the offending line so callers can distinguish
-// corruption from I/O failures with errors.Is.
-var ErrCorruptJournal = errors.New("hive: corrupt journal event")
+// corruption from I/O failures with errors.Is. HTTP 500 (recovery never
+// runs inside a request, but the code keeps logs greppable).
+var ErrCorruptJournal = apierr.New("hive.corrupt_journal", apierr.Internal, "hive: corrupt journal event")
 
 // apply restores one event's effect without re-journalling it. Publication
 // events restore the stored recruitment verbatim instead of re-running

@@ -1,0 +1,148 @@
+package hive
+
+import (
+	"strconv"
+	"time"
+
+	"apisense/internal/evalcache"
+	"apisense/internal/obs"
+)
+
+// Metrics instruments the Hive HTTP surface and registry state for the
+// /metrics endpoint. Build one with NewMetrics, hand it to NewServer via
+// WithMetrics, and the server wires everything else: registry gauges,
+// journal fsync counter, evaluation-cache series and per-route HTTP
+// request/latency/error-code counters.
+//
+// Telemetry safety: label values are route patterns, task IDs, status
+// codes and error codes — never device or user identifiers.
+//
+// Concurrency: immutable after NewMetrics; all hooks delegate to obs
+// atomics and are safe for concurrent use. Every method is a no-op on a
+// nil receiver, so unmetered servers pay nothing.
+type Metrics struct {
+	reg *obs.Registry
+
+	// taskUploads counts admitted uploads per task ID:
+	// apisense_hive_task_uploads_total{task}.
+	taskUploads *obs.CounterVec
+
+	// httpRequests, httpSeconds and httpErrors are the HTTP-surface
+	// instruments, labelled by registered route pattern (never raw URL
+	// paths, which are unbounded) and, for errors, by apierr code.
+	httpRequests *obs.CounterVec
+	httpSeconds  *obs.HistogramVec
+	httpErrors   *obs.CounterVec
+}
+
+// NewMetrics registers the Hive instrument families on reg and returns
+// the handle for WithMetrics. Nil-safe: a nil registry yields a nil
+// *Metrics, which disables all instrumentation.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg: reg,
+		taskUploads: reg.CounterVec("apisense_hive_task_uploads_total",
+			"Uploads admitted into the Hive store, by task ID.",
+			"task"),
+		httpRequests: reg.CounterVec("apisense_http_requests_total",
+			"HTTP requests served, by registered route pattern and status code.",
+			"route", "code"),
+		httpSeconds: reg.HistogramVec("apisense_http_request_seconds",
+			"HTTP request handling latency, by registered route pattern.",
+			obs.LatencyBuckets, "route"),
+		httpErrors: reg.CounterVec("apisense_http_errors_total",
+			"Error responses written by the Hive API, by apierr code.",
+			"code"),
+	}
+}
+
+// Registry returns the underlying obs registry (the /metrics handler).
+// Nil on a nil receiver.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// BindHive registers the Hive state gauges (devices, tasks, uploads) and
+// — when h carries a journal — the fsync counter, then attaches m to h so
+// SubmitBatch counts per-task admissions. Call once per Hive; NewServer
+// does this for WithMetrics servers. Nil-safe on both receiver and h.
+func (m *Metrics) BindHive(h *Hive) {
+	if m == nil || h == nil {
+		return
+	}
+	h.metrics.Store(m)
+	m.reg.GaugeFunc("apisense_hive_devices",
+		"Devices currently registered with the Hive.",
+		func() float64 { return float64(h.Stats().Devices) })
+	m.reg.GaugeFunc("apisense_hive_tasks",
+		"Tasks currently published on the Hive.",
+		func() float64 { return float64(h.Stats().Tasks) })
+	m.reg.GaugeFunc("apisense_hive_uploads",
+		"Uploads retained in the Hive store across all tasks.",
+		func() float64 { return float64(h.Stats().Uploads) })
+	if j := h.journal; j != nil {
+		m.reg.CounterFunc("apisense_journal_fsyncs_total",
+			"Durability barriers (fsync) issued by the upload journal.",
+			func() float64 { return float64(j.Syncs()) })
+	}
+}
+
+// BindEvalCache registers the evaluation-cache series: entry/byte gauges
+// and hit/miss/eviction/pruned counters, all read from c.Stats() at
+// scrape time. Nil-safe on both receiver and c.
+func (m *Metrics) BindEvalCache(c evalcache.Cache) {
+	if m == nil || c == nil {
+		return
+	}
+	m.reg.GaugeFunc("apisense_evalcache_entries",
+		"Live entries in the evaluation cache.",
+		func() float64 { return float64(c.Stats().Entries) })
+	m.reg.GaugeFunc("apisense_evalcache_bytes",
+		"Approximate bytes retained by the evaluation cache.",
+		func() float64 { return float64(c.Stats().Bytes) })
+	m.reg.CounterFunc("apisense_evalcache_hits_total",
+		"Evaluation-cache lookups answered from the cache.",
+		func() float64 { return float64(c.Stats().Hits) })
+	m.reg.CounterFunc("apisense_evalcache_misses_total",
+		"Evaluation-cache lookups that fell through to a live evaluation.",
+		func() float64 { return float64(c.Stats().Misses) })
+	m.reg.CounterFunc("apisense_evalcache_evictions_total",
+		"Evaluation-cache entries evicted to stay under the byte bound.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	m.reg.CounterFunc("apisense_evalcache_pruned_total",
+		"Strategy evaluations skipped by adaptive portfolio pruning.",
+		func() float64 { return float64(c.Stats().Pruned) })
+}
+
+// start samples the wall clock for observeRequest; zero time (no clock
+// read) on a nil receiver.
+func (m *Metrics) start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeRequest records one served request: the route/status counter and
+// the route latency histogram. Nil-safe.
+func (m *Metrics) observeRequest(route string, status int, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.httpRequests.With(route, strconv.Itoa(status)).Inc()
+	m.httpSeconds.With(route).Observe(time.Since(t0).Seconds())
+}
+
+// recordErrorCode counts one error response by apierr code. Nil-safe.
+func (m *Metrics) recordErrorCode(code string) {
+	if m == nil || code == "" {
+		return
+	}
+	m.httpErrors.With(code).Inc()
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"apisense/internal/apierr"
 	"apisense/internal/evalcache"
 	"apisense/internal/ingest"
 	"apisense/internal/transport"
@@ -24,14 +25,21 @@ import (
 //	POST   /api/uploads               submit one upload
 //	POST   /api/uploads/batch         submit a batch (per-item results)
 //	GET    /api/stats                 platform statistics
+//	GET    /metrics                   Prometheus text exposition (WithMetrics only)
 //
 // With WithIngestQueue both upload routes go through the bounded ingest
 // queue: a full queue answers 429 Too Many Requests with a Retry-After
 // header instead of admitting unbounded work.
+//
+// Error responses are JSON objects {"error": message, "code": code} where
+// code is the stable apierr code of the failure (see internal/apierr and
+// docs/OPERATIONS.md); transport.Client surfaces it on ErrStatus so
+// callers can branch with errors.Is against the hive sentinels.
 type Server struct {
 	hive      *Hive
 	queue     *ingest.Queue   // nil = synchronous ingestion
 	evalCache evalcache.Cache // nil = no cache gauges
+	metrics   *Metrics        // nil = no /metrics route, no HTTP instruments
 	mux       *http.ServeMux
 }
 
@@ -49,11 +57,21 @@ func WithIngestQueue(q *ingest.Queue) ServerOption {
 }
 
 // WithEvalCache surfaces the evaluation cache's gauges (entries, bytes,
-// hits, misses, evictions, pruned strategies) under /api/stats. The cache
-// itself is owned by whoever runs the publication engine — the server only
-// reads its statistics.
+// hits, misses, evictions, pruned strategies) under /api/stats — and
+// under /metrics when WithMetrics is also set. The cache itself is owned
+// by whoever runs the publication engine — the server only reads its
+// statistics.
 func WithEvalCache(c evalcache.Cache) ServerOption {
 	return func(s *Server) { s.evalCache = c }
+}
+
+// WithMetrics serves m's registry at GET /metrics and instruments every
+// route with request, latency and error-code series. NewServer binds the
+// Hive gauges (and the journal fsync counter and eval-cache series, when
+// present) onto the same registry, so one option lights up the whole
+// observability surface described in docs/OPERATIONS.md.
+func WithMetrics(m *Metrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
 }
 
 // NewServer wraps a Hive with its HTTP API.
@@ -62,21 +80,69 @@ func NewServer(h *Hive, opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("POST /api/devices", s.handleRegister)
-	s.mux.HandleFunc("GET /api/devices", s.handleListDevices)
-	s.mux.HandleFunc("DELETE /api/devices/{id}", s.handleUnregister)
-	s.mux.HandleFunc("GET /api/devices/{id}/tasks", s.handleDeviceTasks)
-	s.mux.HandleFunc("POST /api/tasks", s.handlePublish)
-	s.mux.HandleFunc("GET /api/tasks/{id}", s.handleGetTask)
-	s.mux.HandleFunc("GET /api/tasks/{id}/uploads", s.handleUploadsOf)
-	s.mux.HandleFunc("POST /api/uploads", s.handleSubmitUpload)
-	s.mux.HandleFunc("POST /api/uploads/batch", s.handleSubmitBatch)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	if s.metrics != nil {
+		s.metrics.BindHive(h)
+		s.metrics.BindEvalCache(s.evalCache)
+		s.handle("GET /metrics", s.metrics.Registry().ServeHTTP)
+	}
+	s.handle("POST /api/devices", s.handleRegister)
+	s.handle("GET /api/devices", s.handleListDevices)
+	s.handle("DELETE /api/devices/{id}", s.handleUnregister)
+	s.handle("GET /api/devices/{id}/tasks", s.handleDeviceTasks)
+	s.handle("POST /api/tasks", s.handlePublish)
+	s.handle("GET /api/tasks/{id}", s.handleGetTask)
+	s.handle("GET /api/tasks/{id}/uploads", s.handleUploadsOf)
+	s.handle("POST /api/uploads", s.handleSubmitUpload)
+	s.handle("POST /api/uploads/batch", s.handleSubmitBatch)
+	s.handle("GET /api/stats", s.handleStats)
 	return s
+}
+
+// handle registers a route, wrapping the handler with the HTTP instruments
+// when metrics are on. The label is the registration pattern, not the
+// request path — request paths carry IDs and would explode series
+// cardinality (and leak device identifiers into telemetry).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	if s.metrics == nil {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := s.metrics.start()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.observeRequest(pattern, sw.status, t0)
+	})
+}
+
+// statusWriter captures the status code a handler writes so the request
+// counter can label it. Handlers that never call WriteHeader implicitly
+// answer 200, which is the field's initial value.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errBadRequest codes request bodies the server cannot decode.
+var errBadRequest = apierr.New("hive.bad_request", apierr.Validation, "hive: bad request")
+
+// errEmptyBatch codes batch submissions with zero uploads.
+var errEmptyBatch = apierr.New("hive.empty_batch", apierr.Validation, "hive: empty upload batch")
+
+// errorResponse is the JSON error body: a human-readable message plus the
+// stable apierr code for programmatic handling.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -84,35 +150,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrUnknownDevice), errors.Is(err, ErrUnknownTask):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrNotAssigned):
-		code = http.StatusForbidden
-	case errors.Is(err, ErrNoQualifyingDevices):
-		code = http.StatusConflict
-	case errors.Is(err, ErrUploadLimit):
-		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrInvalidDevice), errors.Is(err, transport.ErrInvalidSpec):
-		code = http.StatusBadRequest
-	case errors.Is(err, ingest.ErrBatchTooLarge):
-		// Could never be admitted — the client must split the batch.
-		code = http.StatusRequestEntityTooLarge
-	case errors.Is(err, ingest.ErrClosed):
-		// Shutdown drain: intake is over for this process.
-		code = http.StatusServiceUnavailable
-	default:
-		code = http.StatusBadRequest
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError maps err's apierr category to an HTTP status (500 for
+// uncoded errors), answers {"error", "code"}, and counts the code on the
+// error-code series when metrics are on.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := apierr.Code(err)
+	s.metrics.recordErrorCode(code)
+	writeJSON(w, apierr.HTTPStatus(err), errorResponse{Error: err.Error(), Code: code})
 }
 
 func decode(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("hive: decode request: %w", err)
+		return fmt.Errorf("%w: decode request: %w", errBadRequest, err)
 	}
 	return nil
 }
@@ -120,11 +170,11 @@ func decode(r *http.Request, v any) error {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var info transport.DeviceInfo
 	if err := decode(r, &info); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if err := s.hive.RegisterDevice(info); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -136,7 +186,7 @@ func (s *Server) handleListDevices(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.hive.UnregisterDevice(r.PathValue("id")); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "unregistered"})
@@ -145,7 +195,7 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeviceTasks(w http.ResponseWriter, r *http.Request) {
 	tasks, err := s.hive.TasksFor(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if tasks == nil {
@@ -163,12 +213,12 @@ type PublishResponse struct {
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	var spec transport.TaskSpec
 	if err := decode(r, &spec); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	published, recruited, err := s.hive.PublishTask(spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, PublishResponse{Task: published, Recruited: recruited})
@@ -177,7 +227,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetTask(w http.ResponseWriter, r *http.Request) {
 	spec, err := s.hive.Task(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, spec)
@@ -186,7 +236,7 @@ func (s *Server) handleGetTask(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUploadsOf(w http.ResponseWriter, r *http.Request) {
 	ups, err := s.hive.Uploads(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if ups == nil {
@@ -198,7 +248,7 @@ func (s *Server) handleUploadsOf(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitUpload(w http.ResponseWriter, r *http.Request) {
 	var u transport.Upload
 	if err := decode(r, &u); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	var err error
@@ -216,7 +266,7 @@ func (s *Server) handleSubmitUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
@@ -229,11 +279,11 @@ func (s *Server) handleSubmitUpload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	var batch transport.UploadBatch
 	if err := decode(r, &batch); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if len(batch.Uploads) == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "hive: empty upload batch"})
+		s.writeError(w, errEmptyBatch)
 		return
 	}
 	var errs []error
@@ -245,7 +295,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 	} else {
@@ -291,7 +341,9 @@ func (s *Server) writeQueueFull(w http.ResponseWriter, err error) {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	code := apierr.Code(err)
+	s.metrics.recordErrorCode(code)
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -16,30 +16,35 @@ package ingest
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"apisense/internal/apierr"
 	"apisense/internal/transport"
 )
 
-// Sentinel errors of the queue API.
+// Sentinel errors of the queue API — coded apierr sentinels, so the HTTP
+// layer maps them to statuses by category and returns the code in the
+// error body (see docs/OPERATIONS.md).
 var (
 	// ErrQueueFull is backpressure: the queue's batch slots are all
 	// occupied, or admitting the batch would push the queue past its
 	// pending-upload bound. The HTTP layer maps it to 429 Too Many
 	// Requests with a Retry-After header; well-behaved producers back off
 	// with jitter and resubmit.
-	ErrQueueFull = errors.New("ingest: queue full")
+	ErrQueueFull = apierr.New("ingest.queue_full", apierr.ResourceExhausted, "ingest: queue full")
 	// ErrBatchTooLarge marks a single batch bigger than the queue's
 	// pending-upload bound — it could never be admitted, so retrying is
 	// pointless; split it. The HTTP layer maps it to 413.
-	ErrBatchTooLarge = errors.New("ingest: batch exceeds the queue's upload bound")
+	ErrBatchTooLarge = apierr.New("ingest.batch_too_large", apierr.TooLarge, "ingest: batch exceeds the queue's upload bound")
 	// ErrClosed marks submissions after Close; the service is draining
-	// for shutdown.
-	ErrClosed = errors.New("ingest: queue closed")
+	// for shutdown. The HTTP layer maps it to 503.
+	ErrClosed = apierr.New("ingest.closed", apierr.Unavailable, "ingest: queue closed")
+	// errSinkVerdicts marks a broken sink that returned the wrong number
+	// of per-upload verdicts; every upload in the group is failed with it.
+	errSinkVerdicts = apierr.New("ingest.sink_verdicts", apierr.Internal, "ingest: sink verdict count mismatch")
 )
 
 // Sink is where drained batches are admitted — the Hive registry in
@@ -72,6 +77,11 @@ type Config struct {
 	// RetryAfter is the backpressure hint handed to rejected producers
 	// (surfaced as the HTTP Retry-After header). Default 1s.
 	RetryAfter time.Duration
+	// Metrics, when non-nil, instruments the queue (drain latency and
+	// group-size histograms at commit time; depth and throughput gauges
+	// bound at New). nil — the zero value — disables instrumentation
+	// with no allocation and no time sampling on the drain path.
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +129,8 @@ type job struct {
 }
 
 // Queue is the bounded ingestion queue. Create with New, stop with Close.
+// Safe for concurrent use: any number of producers may call Submit while
+// the drain workers commit; Close may race with in-flight Submits.
 type Queue struct {
 	sink Sink
 	cfg  Config
@@ -135,10 +147,13 @@ type Queue struct {
 	batches  atomic.Uint64
 }
 
-// New builds a Queue over sink and starts its drain workers.
+// New builds a Queue over sink and starts its drain workers. When
+// cfg.Metrics is set the queue's depth and throughput gauges are bound to
+// the metrics registry here (one queue per registry).
 func New(sink Sink, cfg Config) *Queue {
 	cfg = cfg.withDefaults()
 	q := &Queue{sink: sink, cfg: cfg, ch: make(chan *job, cfg.Capacity)}
+	cfg.Metrics.bindQueue(q)
 	for w := 0; w < cfg.Workers; w++ {
 		q.wg.Add(1)
 		go q.drain()
@@ -296,11 +311,13 @@ func (q *Queue) commit(jobs []*job, n int) {
 	for _, j := range jobs {
 		all = append(all, j.uploads...)
 	}
+	start := q.cfg.Metrics.start()
 	errs := q.sink.SubmitBatch(all)
+	q.cfg.Metrics.observeDrain(start, n)
 	if got := len(errs); got != n { // defensive: a broken sink rejects everything
 		errs = make([]error, n)
 		for i := range errs {
-			errs[i] = fmt.Errorf("ingest: sink returned %d verdicts for %d uploads", got, n)
+			errs[i] = fmt.Errorf("%w: %d verdicts for %d uploads", errSinkVerdicts, got, n)
 		}
 	}
 	var acc, rej uint64

@@ -1,0 +1,88 @@
+package ingest
+
+import (
+	"time"
+
+	"apisense/internal/obs"
+)
+
+// Metrics instruments a Queue on an obs.Registry. Build one with
+// NewMetrics and hand it to Config.Metrics; a nil *Metrics disables every
+// hook at zero cost (all methods are nil-receiver-safe), so the zero
+// Config stays allocation-free.
+//
+// Concurrency: Metrics is immutable after NewMetrics; its observe hooks
+// are called concurrently by drain workers and delegate to obs atomics.
+type Metrics struct {
+	reg          *obs.Registry
+	drainSeconds *obs.Histogram
+	groupSize    *obs.Histogram
+}
+
+// NewMetrics registers the ingestion instrument families on reg and
+// returns the hook to put in Config.Metrics. Nil-safe: a nil registry
+// yields a nil *Metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg: reg,
+		drainSeconds: reg.Histogram("apisense_ingest_drain_seconds",
+			"Latency of one group commit: sink admission plus journal append and fsync.",
+			obs.LatencyBuckets),
+		groupSize: reg.Histogram("apisense_ingest_group_size_uploads",
+			"Uploads coalesced into one group commit; the mean is the achieved coalescing factor.",
+			obs.SizeBuckets),
+	}
+}
+
+// start samples the wall clock for observeDrain; the zero time (and no
+// clock read at all) on a nil receiver.
+func (m *Metrics) start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeDrain records one group commit of n uploads that started at
+// start. No-op on a nil receiver.
+func (m *Metrics) observeDrain(start time.Time, n int) {
+	if m == nil {
+		return
+	}
+	m.drainSeconds.Observe(time.Since(start).Seconds())
+	m.groupSize.Observe(float64(n))
+}
+
+// bindQueue registers the queue-backed gauge and counter callbacks —
+// depth, capacity, accepted/rejected/dropped and drained group commits.
+// Called by New; one queue per registry (a second bind panics, see
+// obs.Registry.GaugeFunc). No-op on a nil receiver.
+func (m *Metrics) bindQueue(q *Queue) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc("apisense_ingest_pending_uploads",
+		"Uploads currently queued across all batch slots (queue depth).",
+		func() float64 { return float64(q.depth.Load()) })
+	m.reg.GaugeFunc("apisense_ingest_pending_batches",
+		"Batch slots currently occupied.",
+		func() float64 { return float64(len(q.ch)) })
+	m.reg.GaugeFunc("apisense_ingest_capacity_batches",
+		"Configured batch slots (Config.Capacity).",
+		func() float64 { return float64(q.cfg.Capacity) })
+	m.reg.CounterFunc("apisense_ingest_uploads_accepted_total",
+		"Uploads accepted by the sink across all drained group commits.",
+		func() float64 { return float64(q.accepted.Load()) })
+	m.reg.CounterFunc("apisense_ingest_uploads_rejected_total",
+		"Uploads rejected by the sink across all drained group commits.",
+		func() float64 { return float64(q.rejected.Load()) })
+	m.reg.CounterFunc("apisense_ingest_uploads_dropped_total",
+		"Uploads refused at the door with ingest.queue_full (never entered the queue).",
+		func() float64 { return float64(q.dropped.Load()) })
+	m.reg.CounterFunc("apisense_ingest_group_commits_total",
+		"Sink calls — group commits. Accepted divided by this is the coalescing factor.",
+		func() float64 { return float64(q.batches.Load()) })
+}

@@ -7,12 +7,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"time"
+
+	"apisense/internal/apierr"
 )
 
 // Region is a recruitment area: devices whose last known position falls
@@ -51,8 +52,8 @@ type TaskSpec struct {
 
 // ErrInvalidSpec marks a structurally invalid task spec: every Validate
 // failure wraps it, so callers branch on the class with errors.Is and the
-// HTTP layer maps it to 400 Bad Request.
-var ErrInvalidSpec = errors.New("transport: invalid task spec")
+// HTTP layer maps it to 400 Bad Request (code "transport.invalid_spec").
+var ErrInvalidSpec = apierr.New("transport.invalid_spec", apierr.Validation, "transport: invalid task spec")
 
 // Validate reports structural problems in a spec.
 func (s TaskSpec) Validate() error {
@@ -149,10 +150,19 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
-// ErrStatus is the error type for non-2xx HTTP responses.
+// ErrStatus is the error type for non-2xx HTTP responses. Beyond the raw
+// status and body it carries the server's stable error code (the "code"
+// field of the Hive's JSON error bodies, e.g. "hive.unknown_task"), and
+// unwraps to the matching apierr sentinel — so clients branch on error
+// classes with errors.Is(err, hive.ErrUnknownTask) instead of matching
+// status integers or substrings of the body.
 type ErrStatus struct {
 	Code int
 	Body string
+	// ErrCode is the server's coded error ("package.name"), parsed from
+	// the JSON error body; empty when the body carried none (non-JSON
+	// bodies, third-party proxies).
+	ErrCode string
 	// RetryAfter is the server's Retry-After hint (zero when absent) —
 	// set on 429 responses from a backpressured ingest queue.
 	RetryAfter time.Duration
@@ -161,6 +171,38 @@ type ErrStatus struct {
 // Error implements error.
 func (e *ErrStatus) Error() string {
 	return fmt.Sprintf("transport: http %d: %s", e.Code, e.Body)
+}
+
+// Unwrap exposes the server's coded error to errors.Is/As: the chain of a
+// coded response contains apierr.Remote(ErrCode), which matches the
+// originating sentinel by code. Returns nil when the response carried no
+// code.
+func (e *ErrStatus) Unwrap() error {
+	if e.ErrCode == "" {
+		return nil
+	}
+	return apierr.Remote(e.ErrCode)
+}
+
+// errorBody is the wire shape of the Hive's JSON error responses.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errStatus builds an ErrStatus from a non-2xx response, recovering the
+// coded error from the JSON body when there is one.
+func errStatus(status int, body []byte, retryAfter string) *ErrStatus {
+	e := &ErrStatus{
+		Code:       status,
+		Body:       string(body),
+		RetryAfter: parseRetryAfter(retryAfter),
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil {
+		e.ErrCode = eb.Code
+	}
+	return e
 }
 
 // parseRetryAfter interprets the delay-seconds form of a Retry-After
@@ -217,15 +259,11 @@ func (c *Client) Do(ctx context.Context, method, path string, in, out any) error
 			continue
 		}
 		if resp.StatusCode >= 500 {
-			lastErr = &ErrStatus{Code: resp.StatusCode, Body: string(data)}
+			lastErr = errStatus(resp.StatusCode, data, resp.Header.Get("Retry-After"))
 			continue
 		}
 		if resp.StatusCode >= 300 {
-			return &ErrStatus{
-				Code:       resp.StatusCode,
-				Body:       string(data),
-				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
-			}
+			return errStatus(resp.StatusCode, data, resp.Header.Get("Retry-After"))
 		}
 		if out != nil {
 			if err := json.Unmarshal(data, out); err != nil {

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"apisense/internal/apierr"
 )
 
 func TestTaskSpecValidate(t *testing.T) {
@@ -200,5 +202,55 @@ func TestClientConnectionRefused(t *testing.T) {
 	err := NewClient("http://127.0.0.1:1").Do(context.Background(), http.MethodGet, "/x", nil, nil)
 	if err == nil {
 		t.Error("expected connection error")
+	}
+}
+
+// TestErrStatusCarriesWireCode: non-2xx responses with a JSON error body
+// surface the server's stable code on ErrStatus and unwrap to a coded
+// error matchable across the process boundary.
+func TestErrStatusCarriesWireCode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"error": "hive: unknown task", "code": "hive.unknown_task",
+		})
+	}))
+	defer srv.Close()
+
+	err := NewClient(srv.URL).Do(context.Background(), http.MethodGet, "/api/tasks/nope", nil, nil)
+	var st *ErrStatus
+	if !errors.As(err, &st) {
+		t.Fatalf("want ErrStatus, got %v", err)
+	}
+	if st.ErrCode != "hive.unknown_task" {
+		t.Errorf("ErrCode = %q, want hive.unknown_task", st.ErrCode)
+	}
+	if !errors.Is(err, apierr.Remote("hive.unknown_task")) {
+		t.Errorf("errors.Is against the remote code fails for %v", err)
+	}
+	if errors.Is(err, apierr.Remote("hive.unknown_device")) {
+		t.Error("errors.Is matched a different code")
+	}
+}
+
+// TestErrStatusNonJSONBody: a body without a code (proxies, plain text)
+// leaves ErrCode empty and the chain uncoded.
+func TestErrStatusNonJSONBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gateway exploded", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	err := NewClient(srv.URL).Do(context.Background(), http.MethodGet, "/x", nil, nil)
+	var st *ErrStatus
+	if !errors.As(err, &st) {
+		t.Fatalf("want ErrStatus, got %v", err)
+	}
+	if st.ErrCode != "" {
+		t.Errorf("ErrCode = %q, want empty", st.ErrCode)
+	}
+	if apierr.Code(err) != "" {
+		t.Errorf("apierr.Code = %q, want empty", apierr.Code(err))
 	}
 }
