@@ -5,7 +5,7 @@
 GO ?= go
 
 # Benchmarks whose ns/op are tracked against BENCH_baseline.json.
-TRACKED_BENCH := BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch
+TRACKED_BENCH := BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch|BenchmarkRecover|BenchmarkShardedIngest
 
 .PHONY: all build lint docs test race check bench-refresh fmt
 
@@ -29,8 +29,8 @@ lint:
 # lacks a doc comment — the doccomment analyzer scoped to exactly those
 # packages.
 docs:
-	$(GO) run ./cmd/apisenselint ./internal/hive ./internal/ingest \
-		./internal/core ./internal/obs ./internal/apierr
+	$(GO) run ./cmd/apisenselint ./internal/hive ./internal/hive/store \
+		./internal/ingest ./internal/core ./internal/obs ./internal/apierr
 
 test:
 	$(GO) test ./...

@@ -43,6 +43,7 @@ import (
 	"apisense/internal/filter"
 	"apisense/internal/geo"
 	"apisense/internal/hive"
+	"apisense/internal/hive/store"
 	"apisense/internal/honeycomb"
 	"apisense/internal/incentive"
 	"apisense/internal/ingest"
@@ -369,8 +370,41 @@ type (
 func NewHive() *Hive { return hive.New() }
 
 // RecoverHive replays a journal file into a Hive and reopens it for
-// appending, making the service restart-safe.
+// appending, making the service restart-safe. It is shorthand for
+// OpenJournalStore + RecoverHiveFrom.
 var RecoverHive = hive.Recover
+
+// Storage engine types. A HiveStore persists the Hive's event history;
+// three engines trade recovery cost against layout complexity (see
+// internal/hive/store).
+type (
+	// HiveStore is the pluggable storage engine behind a Hive.
+	HiveStore = store.Store
+	// HiveStoreStats is a point-in-time snapshot of store health
+	// (segments, fsyncs, snapshot age, replay cost).
+	HiveStoreStats = store.Stats
+	// SegmentedStoreConfig tunes the snapshot+tail compacting engine.
+	SegmentedStoreConfig = store.SegmentedConfig
+	// ShardedStoreConfig tunes the per-task sharded engine.
+	ShardedStoreConfig = store.ShardedConfig
+)
+
+// OpenJournalStore opens the single-file journal engine (full replay on
+// recovery; the original format, kept for compatibility).
+var OpenJournalStore = store.OpenJournal
+
+// OpenSegmentedStore opens the segmented compacting engine: the log
+// rotates at a size threshold and folds into snapshots, so recovery cost
+// is bounded by the tail instead of total history.
+var OpenSegmentedStore = store.OpenSegmented
+
+// OpenShardedStore opens the sharded engine: uploads for different tasks
+// commit on independent per-shard fsync boundaries.
+var OpenShardedStore = store.OpenSharded
+
+// RecoverHiveFrom replays any storage engine into a Hive and attaches
+// the store for further appends.
+var RecoverHiveFrom = hive.RecoverFrom
 
 // NewHiveServer wraps a Hive with its HTTP API; pass WithIngestQueue to
 // stream uploads through a bounded queue with backpressure.

@@ -26,6 +26,7 @@ import (
 	"apisense/internal/device"
 	"apisense/internal/exp"
 	"apisense/internal/hive"
+	"apisense/internal/hive/store"
 	"apisense/internal/ingest"
 	"apisense/internal/lppm"
 	"apisense/internal/mobgen"
@@ -373,6 +374,179 @@ func BenchmarkIngestBatch(b *testing.B) {
 func reportUploadThroughput(b *testing.B, batchSize int) {
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "uploads/s")
+	}
+}
+
+// seedHeartbeatHistory drives a heartbeat-heavy history through a Hive on
+// s: a small fleet re-registers over and over, so live state stays tiny
+// while the persisted event history grows large — the workload where
+// snapshot+tail recovery pays off. Seeding is not the measured section,
+// so periodic fsync is disabled (Close still syncs).
+func seedHeartbeatHistory(b *testing.B, s store.Store, beats int) {
+	b.Helper()
+	h, err := hive.RecoverFrom(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetSyncEvery(0)
+	const fleet = 10
+	heartbeat := func(i int) {
+		if err := h.RegisterDevice(transport.DeviceInfo{
+			ID: fmt.Sprintf("d%d", i%fleet), User: "bench", Sensors: []string{"gps"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < fleet; i++ {
+		heartbeat(i)
+	}
+	if _, _, err := h.PublishTask(transport.TaskSpec{
+		Name: "recover-bench", Author: "bench", Script: "var x = 1;",
+		PeriodSeconds: 60, Sensors: []string{"gps"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < beats; k++ {
+		heartbeat(k)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecover measures restart cost on a heartbeat-heavy history
+// whose live state is far smaller than its event log. The journal engine
+// replays every record ever written, so its recovery grows with total
+// history; the segmented engine restores the latest snapshot and replays
+// only the tail, so its recovery stays bounded by the rotation threshold.
+// The tracked ratio is journal ns/op over segmented ns/op (>= 5x here:
+// the seeded history is >= 10x the segmented tail).
+func BenchmarkRecover(b *testing.B) {
+	const beats = 12000
+	engines := []struct {
+		name string
+		open func(dir string) (store.Store, error)
+	}{
+		{"journal", func(dir string) (store.Store, error) {
+			return store.OpenJournal(filepath.Join(dir, "hive.journal"))
+		}},
+		{"segmented", func(dir string) (store.Store, error) {
+			return store.OpenSegmented(filepath.Join(dir, "seg"), store.SegmentedConfig{
+				SegmentBytes: 32 << 10, SnapshotEvery: 2,
+			})
+		}},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name, func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := eng.open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seedHeartbeatHistory(b, s, beats)
+			var replayed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := eng.open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := hive.RecoverFrom(s); err != nil {
+					b.Fatal(err)
+				}
+				replayed = s.Stats().ReplayRecords
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(replayed), "records/op")
+		})
+	}
+}
+
+// BenchmarkShardedIngest measures group-commit throughput under a
+// two-hot-task workload: two goroutines each push b.N batches for their
+// own task, every batch a durable group commit. On the single-file
+// journal both tasks serialise on one fsync boundary; on the sharded
+// engine the task IDs hash to different shards, so their commits overlap
+// and per-op latency drops. One op = one batch from each hot task.
+func BenchmarkShardedIngest(b *testing.B) {
+	const perBatch = 8
+	engines := []struct {
+		name string
+		open func(dir string) (store.Store, error)
+	}{
+		{"journal", func(dir string) (store.Store, error) {
+			return store.OpenJournal(filepath.Join(dir, "hive.journal"))
+		}},
+		{"sharded", func(dir string) (store.Store, error) {
+			return store.OpenSharded(filepath.Join(dir, "shard"), store.ShardedConfig{Shards: 8})
+		}},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name, func(b *testing.B) {
+			s, err := eng.open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			h, err := hive.RecoverFrom(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.SetMaxUploadsPerTask(0) // the bench accumulates 2*b.N batches
+			if err := h.RegisterDevice(transport.DeviceInfo{ID: "d0", User: "bench", Sensors: []string{"gps"}}); err != nil {
+				b.Fatal(err)
+			}
+			publish := func(name string) string {
+				spec, _, err := h.PublishTask(transport.TaskSpec{
+					Name: name, Author: "bench", Script: "var x = 1;",
+					PeriodSeconds: 60, Sensors: []string{"gps"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return spec.ID
+			}
+			hotA, hotB := publish("hot-0"), publish("hot-1")
+			// On the sharded engine the two hot tasks must land on distinct
+			// commit shards for the comparison to mean anything.
+			for i := 2; s.Shards() > 1 && s.ShardFor(hotB) == s.ShardFor(hotA); i++ {
+				if i > 64 {
+					b.Fatal("no second task landed on a distinct shard")
+				}
+				hotB = publish(fmt.Sprintf("hot-%d", i))
+			}
+
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for _, taskID := range []string{hotA, hotB} {
+				wg.Add(1)
+				go func(taskID string) {
+					defer wg.Done()
+					batch := make([]transport.Upload, perBatch)
+					for k := range batch {
+						batch[k] = transport.Upload{
+							TaskID: taskID, DeviceID: "d0",
+							Records: []transport.UploadRecord{{Sensor: "gps", TimeMillis: int64(k)}},
+						}
+					}
+					for i := 0; i < b.N; i++ {
+						for _, err := range h.SubmitBatch(batch) {
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}(taskID)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if st := s.Stats(); st.Syncs > 0 {
+				b.ReportMetric(float64(st.Syncs)/float64(b.N), "fsyncs/op")
+			}
+		})
 	}
 }
 

@@ -3,7 +3,7 @@
 // artifact on every run; the checked-in BENCH_baseline.json is refreshed
 // locally (the 1-core CI runner cannot show parallel speedups) with:
 //
-//	go test -bench 'BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch' \
+//	go test -bench 'BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch|BenchmarkRecover|BenchmarkShardedIngest' \
 //	    -benchtime=2x -run '^$' . | go run ./cmd/benchjson -update BENCH_baseline.json
 //
 // With -baseline it additionally prints a delta report against a previous
@@ -96,7 +96,7 @@ func run(in io.Reader, out, diag io.Writer, baselinePath, updatePath string) err
 		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
 	}
 	doc := Document{
-		Note:       "tracked benchmarks; refresh with: go test -bench 'BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch' -benchtime=2x -run '^$' . | go run ./cmd/benchjson -update BENCH_baseline.json",
+		Note:       "tracked benchmarks; refresh with: go test -bench 'BenchmarkEvaluateParallel|BenchmarkPublishSharded|BenchmarkRepublishIncremental|BenchmarkIngestBatch|BenchmarkRecover|BenchmarkShardedIngest' -benchtime=2x -run '^$' . | go run ./cmd/benchjson -update BENCH_baseline.json",
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),

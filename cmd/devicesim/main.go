@@ -3,7 +3,9 @@
 // task scripts over synthetic mobility, and uploads the results. Results
 // are buffered and flushed to the Hive's batch endpoint in groups of
 // -batch uploads; when the Hive's ingest queue pushes back with 429 the
-// flush retries with jittered backoff.
+// flush retries with jittered backoff. By default each device executes a
+// task once; -repeat re-executes assigned tasks on every poll, producing
+// sustained multi-task ingest (useful for exercising the sharded store).
 //
 // With -metrics ADDR the simulator serves its own Prometheus text
 // endpoint (fleet size, executed tasks, accepted/rejected uploads,
@@ -48,6 +50,7 @@ func run(args []string) error {
 	wait := fs.Duration("wait", 30*time.Second, "how long to poll for tasks")
 	poll := fs.Duration("poll", 2*time.Second, "task poll interval")
 	batch := fs.Int("batch", 8, "uploads buffered per batch flush")
+	repeat := fs.Bool("repeat", false, "re-execute assigned tasks every poll instead of once per device (sustained ingest load)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus text metrics on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,7 +127,7 @@ func run(args []string) error {
 		}()
 		defer srv.Close()
 	}
-	done := make(map[string]bool) // deviceID/taskID pairs already executed
+	done := make(map[string]bool) // deviceID/taskID pairs already executed (ignored with -repeat)
 	deadline := time.Now().Add(*wait)
 	for time.Now().Before(deadline) {
 		executed := 0
@@ -136,7 +139,7 @@ func run(args []string) error {
 			}
 			for _, spec := range tasks {
 				key := d.ID() + "/" + spec.ID
-				if done[key] {
+				if !*repeat && done[key] {
 					continue
 				}
 				done[key] = true
@@ -167,6 +170,6 @@ func run(args []string) error {
 	} else {
 		logFlush(resp)
 	}
-	log.Printf("done: executed %d task instances", len(done))
+	log.Printf("done: executed %d task instances", executedTotal.Load())
 	return nil
 }

@@ -1,22 +1,31 @@
 // Command hive runs the central APISENSE Hive service: device registry,
 // task publication and dataset ingestion, exposed over HTTP/JSON.
 //
+// Durability is pluggable (-store): the single-file journal replays full
+// history at startup; the segmented engine rotates its log at -segment-mb
+// and folds history into snapshots every -snapshot-every sealed segments,
+// so restart cost stays bounded by the tail; the sharded engine commits
+// uploads for different tasks on -store-shards independent fsync
+// boundaries, so hot tasks never serialise on one descriptor.
+//
 // Ingestion is streamed through a bounded queue: uploads (single or
 // batched via POST /api/uploads/batch) are admitted by a pool of drain
-// workers and journaled with group commits — one fsync per drained batch.
-// A full queue answers 429 with a Retry-After hint instead of accepting
-// unbounded work. SIGINT/SIGTERM shuts down gracefully: the HTTP server
-// stops taking requests, the queue drains, and the journal is synced and
-// closed, so no acknowledged upload is lost.
+// workers and journaled with group commits — one fsync per drained batch
+// per shard. A full queue answers 429 with a Retry-After hint instead of
+// accepting unbounded work. SIGINT/SIGTERM shuts down gracefully: the
+// HTTP server stops taking requests, the queue drains, and the store is
+// synced and closed, so no acknowledged upload is lost.
 //
 // With -metrics the server exposes GET /metrics in Prometheus text
-// format: queue depth and drain latency, journal fsyncs, per-task upload
+// format: queue depth and drain latency, store fsyncs (total and
+// per-shard), segment count, snapshot age, replay cost, per-task upload
 // counters, per-route HTTP request/latency/error-code series — the full
 // catalogue is in docs/OPERATIONS.md.
 //
 // Usage:
 //
-//	hive [-addr :8080] [-journal hive.journal] [-sync-every 1]
+//	hive [-addr :8080] [-journal hive.journal] [-store journal|segmented|sharded]
+//	     [-segment-mb 4] [-snapshot-every 4] [-store-shards 8] [-sync-every 1]
 //	     [-queue 256] [-batch 256] [-drain-workers 1] [-metrics]
 package main
 
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"apisense/internal/hive"
+	"apisense/internal/hive/store"
 	"apisense/internal/ingest"
 	"apisense/internal/obs"
 )
@@ -44,14 +54,38 @@ func main() {
 	}
 }
 
+// openStore builds the storage engine selected by -store. For the
+// journal engine path is the log file; for segmented and sharded it is
+// the store directory.
+func openStore(engine, path string, segmentMB int, snapshotEvery, shards int) (store.Store, error) {
+	switch engine {
+	case store.EngineJournal:
+		return store.OpenJournal(path)
+	case store.EngineSegmented:
+		return store.OpenSegmented(path, store.SegmentedConfig{
+			SegmentBytes:  int64(segmentMB) << 20,
+			SnapshotEvery: snapshotEvery,
+		})
+	case store.EngineSharded:
+		return store.OpenSharded(path, store.ShardedConfig{Shards: shards})
+	default:
+		return nil, fmt.Errorf("unknown -store engine %q (want %s, %s or %s)",
+			engine, store.EngineJournal, store.EngineSegmented, store.EngineSharded)
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hive", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	journal := fs.String("journal", "", "journal file for durable state (empty = in-memory only)")
-	syncEvery := fs.Int("sync-every", 1, "fsync the journal every N group commits (0 = never, leave it to the OS)")
+	journal := fs.String("journal", "", "store path for durable state: a file for -store=journal, a directory otherwise (empty = in-memory only)")
+	engine := fs.String("store", store.EngineJournal, "storage engine: journal (single file, full replay), segmented (snapshot+tail, bounded restart) or sharded (per-task commit shards)")
+	segmentMB := fs.Int("segment-mb", 4, "segmented store: rotate the tail after this many MiB (raise to fold less often on write-heavy fleets)")
+	snapshotEvery := fs.Int("snapshot-every", 4, "segmented store: fold a snapshot after this many sealed segments")
+	storeShards := fs.Int("store-shards", 8, "sharded store: number of independent per-task commit shards")
+	syncEvery := fs.Int("sync-every", 1, "fsync each store file every N group commits (0 = never, leave it to the OS)")
 	queueSize := fs.Int("queue", 256, "ingest queue capacity in batch slots (0 = synchronous ingestion, no backpressure)")
 	maxBatch := fs.Int("batch", 256, "max uploads coalesced into one group commit")
-	drainWorkers := fs.Int("drain-workers", 1, "ingest drain worker pool size (1 maximises group-commit coalescing; the Hive serialises commits anyway)")
+	drainWorkers := fs.Int("drain-workers", 1, "ingest drain worker pool size (with -store=sharded, more workers let distinct task shards commit in parallel)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	metrics := fs.Bool("metrics", false, "expose Prometheus text metrics at GET /metrics")
 	if err := fs.Parse(args); err != nil {
@@ -64,17 +98,23 @@ func run(args []string) error {
 	}
 
 	var (
-		h *hive.Hive
-		j *hive.Journal
+		h  *hive.Hive
+		st store.Store
 	)
 	if *journal != "" {
-		recovered, jj, err := hive.Recover(*journal)
+		s, err := openStore(*engine, *journal, *segmentMB, *snapshotEvery, *storeShards)
 		if err != nil {
 			return err
 		}
-		h, j = recovered, jj
-		j.SetSyncEvery(*syncEvery)
-		log.Printf("recovered state from %s: %+v", *journal, h.Stats())
+		h, err = hive.RecoverFrom(s)
+		if err != nil {
+			return err
+		}
+		st = s
+		st.SetSyncEvery(*syncEvery)
+		ss := s.Stats()
+		log.Printf("recovered state from %s (%s engine): %+v; replayed %d records in %s",
+			*journal, ss.Engine, h.Stats(), ss.ReplayRecords, ss.ReplayDuration)
 	} else {
 		h = hive.New()
 	}
@@ -93,8 +133,8 @@ func run(args []string) error {
 			*queueSize, *drainWorkers, *maxBatch)
 	}
 	if reg != nil {
-		// BindHive (inside NewServer) picks up the journal fsync counter
-		// too, since the journal is already attached to h here.
+		// BindHive (inside NewServer) picks up the store series too,
+		// since the store is already attached to h here.
 		opts = append(opts, hive.WithMetrics(hive.NewMetrics(reg)))
 		log.Printf("metrics: serving Prometheus text format at GET /metrics")
 	}
@@ -117,7 +157,7 @@ func run(args []string) error {
 	select {
 	case err := <-errCh:
 		// The listener died on its own; still drain what was accepted.
-		if perr := shutdownPipeline(q, j); perr != nil {
+		if perr := shutdownPipeline(q, st); perr != nil {
 			log.Printf("shutdown after listener failure: %v", perr)
 		}
 		return err
@@ -126,7 +166,7 @@ func run(args []string) error {
 
 	// Graceful shutdown: stop taking requests (waiting out in-flight ones
 	// up to the grace deadline), then drain the ingest queue and close the
-	// journal — acknowledged uploads are on disk before we exit. Releasing
+	// store — acknowledged uploads are on disk before we exit. Releasing
 	// the signal handler first restores default delivery, so a second
 	// SIGINT/SIGTERM during a hung drain kills the process instead of
 	// being swallowed.
@@ -140,7 +180,7 @@ func run(args []string) error {
 		shutdownErr = nil
 		_ = srv.Close()
 	}
-	if err := shutdownPipeline(q, j); err != nil {
+	if err := shutdownPipeline(q, st); err != nil {
 		return err
 	}
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
@@ -151,13 +191,13 @@ func run(args []string) error {
 }
 
 // shutdownPipeline drains the ingest queue (committing every batch already
-// accepted into it) and then syncs and closes the journal.
-func shutdownPipeline(q *ingest.Queue, j *hive.Journal) error {
+// accepted into it) and then syncs and closes the store.
+func shutdownPipeline(q *ingest.Queue, st store.Store) error {
 	if q != nil {
 		q.Close()
 	}
-	if j != nil {
-		if err := j.Close(); err != nil {
+	if st != nil {
+		if err := st.Close(); err != nil {
 			return err
 		}
 	}

@@ -12,6 +12,7 @@
 package hive
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"apisense/internal/apierr"
 	"apisense/internal/evalcache"
 	"apisense/internal/geo"
+	"apisense/internal/hive/store"
 	"apisense/internal/ingest"
 	"apisense/internal/transport"
 )
@@ -59,11 +61,14 @@ const DefaultMaxUploadsPerTask = 100000
 
 // Hive is the central coordination service. All exported methods are safe
 // for concurrent use; reads take the registry RLock, admissions serialise
-// on the ingest commit lock so the journal sees one writer at a time.
+// per storage shard on the commit locks so each log file sees one writer
+// at a time and h.mu is never held across a disk sync.
 //
 // Lock order, checked mechanically by cmd/apisenselint (lockfsync):
+// metaMu before any commit lock, commit locks in ascending index order,
+// h.mu innermost.
 //
-//lint:lockorder ingestMu < mu
+//lint:lockorder metaMu < mu
 type Hive struct {
 	mu          sync.RWMutex
 	devices     map[string]transport.DeviceInfo
@@ -72,21 +77,27 @@ type Hive struct {
 	uploads     map[string][]transport.Upload
 	uploadCap   int // per-task; <= 0 means unlimited
 	nextTaskID  int
-	journal     *Journal // optional durability, see journal.go
+	store       store.Store // optional durability engine, see storage.go
+
+	// commit serialises upload group commits (admit + append + fsync) per
+	// storage shard: commit[i] guards shard i of the attached store, so
+	// two hot tasks on different shards commit concurrently while batches
+	// touching the same task still serialise (a task always maps to one
+	// shard). Holding a task's shard lock also keeps its admitted uploads
+	// at the tail of the task slice until the commit outcome is known,
+	// which is what makes rollback a simple pop. Sized by AttachStore
+	// (one lock for single-shard engines and memory-only Hives).
+	commit []sync.Mutex
+
+	// metaMu serialises registry mutations (register, unregister,
+	// publish) end to end — memory mutation plus control-plane append —
+	// so the persisted event order always matches the mutation order
+	// without holding h.mu across the disk sync.
+	metaMu sync.Mutex
 
 	// metrics, when bound (see Metrics.BindHive), counts admitted uploads
 	// per task. Atomic so late binding never races SubmitBatch.
 	metrics atomic.Pointer[Metrics]
-
-	// ingestMu serialises whole upload group commits (admit + journal +
-	// fsync) with each other, so h.mu — which every fleet task poll and
-	// stats read contends on — is held only for the in-memory admission,
-	// never across a disk sync. The lock order and the fsync exemption
-	// below are checked mechanically by cmd/apisenselint (lockfsync); see
-	// the "Static analysis" section of the README.
-	//
-	//lint:allowsync designated commit lock, held across fsync by design
-	ingestMu sync.Mutex
 }
 
 // New creates an empty Hive with the default per-task upload cap.
@@ -97,6 +108,7 @@ func New() *Hive {
 		assignments: make(map[string]map[string]bool),
 		uploads:     make(map[string][]transport.Upload),
 		uploadCap:   DefaultMaxUploadsPerTask,
+		commit:      make([]sync.Mutex, 1),
 	}
 }
 
@@ -115,33 +127,42 @@ func (h *Hive) RegisterDevice(info transport.DeviceInfo) error {
 	if info.ID == "" || info.User == "" {
 		return fmt.Errorf("%w: device id and user are required", ErrInvalidDevice)
 	}
+	h.metaMu.Lock()
 	h.mu.Lock()
 	h.devices[info.ID] = info
-	j, err := h.logEvent(event{Kind: evRegister, Device: &info})
+	s := h.store
 	h.mu.Unlock()
+	err := h.appendMeta(s, event{Kind: evRegister, Device: &info})
+	h.metaMu.Unlock()
 	if err != nil {
 		return err
 	}
-	return commitJournal(j)
+	h.maybeSnapshot()
+	return nil
 }
 
 // UnregisterDevice removes a device; pending assignments are dropped.
 func (h *Hive) UnregisterDevice(id string) error {
+	h.metaMu.Lock()
 	h.mu.Lock()
 	if _, ok := h.devices[id]; !ok {
 		h.mu.Unlock()
+		h.metaMu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownDevice, id)
 	}
 	delete(h.devices, id)
 	for _, set := range h.assignments {
 		delete(set, id)
 	}
-	j, err := h.logEvent(event{Kind: evUnregister, DeviceID: id})
+	s := h.store
 	h.mu.Unlock()
+	err := h.appendMeta(s, event{Kind: evUnregister, DeviceID: id})
+	h.metaMu.Unlock()
 	if err != nil {
 		return err
 	}
-	return commitJournal(j)
+	h.maybeSnapshot()
+	return nil
 }
 
 // Devices returns the registered devices, sorted by ID.
@@ -184,6 +205,7 @@ func (h *Hive) PublishTask(spec transport.TaskSpec) (transport.TaskSpec, []strin
 	if err := spec.Validate(); err != nil {
 		return transport.TaskSpec{}, nil, err
 	}
+	h.metaMu.Lock()
 	h.mu.Lock()
 	h.nextTaskID++
 	spec.ID = fmt.Sprintf("task-%04d", h.nextTaskID)
@@ -198,19 +220,20 @@ func (h *Hive) PublishTask(spec transport.TaskSpec) (transport.TaskSpec, []strin
 	}
 	if len(ids) == 0 {
 		h.mu.Unlock()
+		h.metaMu.Unlock()
 		return transport.TaskSpec{}, nil, fmt.Errorf("%w: %s", ErrNoQualifyingDevices, spec.Name)
 	}
 	sort.Strings(ids)
 	h.tasks[spec.ID] = spec
 	h.assignments[spec.ID] = recruited
-	j, err := h.logEvent(event{Kind: evPublish, Task: &spec, Recruited: ids})
+	s := h.store
 	h.mu.Unlock()
+	err := h.appendMeta(s, event{Kind: evPublish, Task: &spec, Recruited: ids})
+	h.metaMu.Unlock()
 	if err != nil {
 		return transport.TaskSpec{}, nil, err
 	}
-	if err := commitJournal(j); err != nil {
-		return transport.TaskSpec{}, nil, err
-	}
+	h.maybeSnapshot()
 	return spec, ids, nil
 }
 
@@ -251,56 +274,122 @@ func (h *Hive) SubmitUpload(u transport.Upload) error {
 }
 
 // SubmitBatch validates and admits a batch of uploads under one lock
-// acquisition and journals every accepted one as a single group commit —
-// one fsync per batch instead of one per upload. Admission is per item, not
-// all-or-nothing: the returned slice has one entry per upload, nil meaning
-// accepted. This is the sink the ingest queue's drain workers feed.
+// acquisition and journals every accepted one as a single group commit
+// per storage shard — one fsync per batch per shard instead of one per
+// upload. Admission is per item, not all-or-nothing: the returned slice
+// has one entry per upload, nil meaning accepted. This is the sink the
+// ingest queue's drain workers feed.
 //
-// If the group commit itself fails, the admitted uploads are rolled back
-// from the in-memory store and reported failed, so memory never claims
-// more than the caller was told. A partially persisted group may still
-// replay after a crash — the failure edge is at-least-once, like any WAL.
-// Conversely, concurrent readers may briefly observe admitted uploads
-// whose sync is still in flight; the caller is only acknowledged after it.
+// Concurrency: the batch locks only the commit shards its tasks map to,
+// so two batches for tasks on different shards of a sharded store admit
+// and fsync fully in parallel; batches touching the same task always
+// serialise (a task maps to one shard). h.mu is held only for the
+// in-memory admission, never across a disk sync.
+//
+// If a shard's group commit fails, the uploads admitted on that shard
+// are rolled back from the in-memory store and reported failed, so
+// memory never claims more than the caller was told. A partially
+// persisted group may still replay after a crash — the failure edge is
+// at-least-once, like any WAL. Conversely, concurrent readers may
+// briefly observe admitted uploads whose sync is still in flight; the
+// caller is only acknowledged after it.
 func (h *Hive) SubmitBatch(ups []transport.Upload) []error {
+	errs := h.submitBatch(ups)
+	h.maybeSnapshot()
+	return errs
+}
+
+func (h *Hive) submitBatch(ups []transport.Upload) []error {
 	errs := make([]error, len(ups))
 	if len(ups) == 0 {
 		return errs
 	}
-	// One group commit at a time: admission, journal write and fsync are
-	// serialised here, NOT under h.mu — readers only contend with the
-	// short in-memory section below. The exclusivity also keeps the
-	// rollback simple: no other batch can interleave, so every admitted
-	// upload is still the tail of its task's slice if the commit fails.
-	h.ingestMu.Lock()
-	defer h.ingestMu.Unlock()
+	h.mu.RLock()
+	st := h.store
+	commit := h.commit
+	h.mu.RUnlock()
+
+	// Lock the touched commit shards in ascending order (deadlock-free
+	// against other batches and the snapshot quiesce, which locks all).
+	shards := make([]int, 0, 4)
+	if st != nil && len(commit) > 1 {
+		touched := make(map[int]bool)
+		for i := range ups {
+			touched[st.ShardFor(ups[i].TaskID)] = true
+		}
+		for si := range touched {
+			shards = append(shards, si)
+		}
+		sort.Ints(shards)
+	} else {
+		shards = append(shards, 0)
+	}
+	for _, si := range shards {
+		commit[si].Lock()
+	}
+	defer func() {
+		for k := len(shards) - 1; k >= 0; k-- {
+			commit[shards[k]].Unlock()
+		}
+	}()
 
 	h.mu.Lock()
-	events := make([]event, 0, len(ups))
 	admitted := make([]int, 0, len(ups))
 	for i := range ups {
 		if err := h.admitUpload(ups[i]); err != nil {
 			errs[i] = err
 			continue
 		}
-		events = append(events, event{Kind: evUpload, Upload: &ups[i]})
 		admitted = append(admitted, i)
 	}
-	journal := h.journal
 	h.mu.Unlock()
 
-	if journal != nil && len(events) > 0 {
-		if err := journal.appendBatch(events); err != nil {
-			// Roll back newest-first: each admitted upload is the current
-			// tail of its task's slice (guaranteed by ingestMu).
-			h.mu.Lock()
-			for k := len(admitted) - 1; k >= 0; k-- {
-				i := admitted[k]
-				task := ups[i].TaskID
-				h.uploads[task] = h.uploads[task][:len(h.uploads[task])-1]
-				errs[i] = err
+	if st != nil && len(admitted) > 0 {
+		// One group commit per touched shard. Encoding happens outside
+		// h.mu; the shard locks keep each admitted upload at the tail of
+		// its task's slice until its commit outcome is known.
+		byShard := make(map[int][]int, len(shards))
+		for _, i := range admitted {
+			si := 0
+			if len(commit) > 1 {
+				si = st.ShardFor(ups[i].TaskID)
 			}
-			h.mu.Unlock()
+			byShard[si] = append(byShard[si], i)
+		}
+		for _, si := range shards {
+			idxs := byShard[si]
+			if len(idxs) == 0 {
+				continue
+			}
+			recs := make([][]byte, 0, len(idxs))
+			var encErr error
+			for _, i := range idxs {
+				rec, err := json.Marshal(event{Kind: evUpload, Upload: &ups[i]})
+				if err != nil {
+					encErr = fmt.Errorf("%w: encode event: %w", ErrJournalIO, err)
+					break
+				}
+				recs = append(recs, rec)
+			}
+			err := encErr
+			if err == nil {
+				if aerr := st.AppendBatch(si, recs); aerr != nil {
+					err = fmt.Errorf("%w: %w", ErrJournalIO, aerr)
+				}
+			}
+			if err != nil {
+				// Roll back this shard newest-first: each admitted upload
+				// is the current tail of its task's slice (guaranteed by
+				// the shard lock).
+				h.mu.Lock()
+				for k := len(idxs) - 1; k >= 0; k-- {
+					i := idxs[k]
+					task := ups[i].TaskID
+					h.uploads[task] = h.uploads[task][:len(h.uploads[task])-1]
+					errs[i] = err
+				}
+				h.mu.Unlock()
+			}
 		}
 	}
 	if m := h.metrics.Load(); m != nil {
@@ -350,9 +439,10 @@ type IngestStats = ingest.Stats
 // (entries, bytes, hits, misses, evictions, pruned strategies).
 type EvalCacheStats = evalcache.Stats
 
-// Stats summarises the Hive state. Ingest and EvalCache are populated by
-// the HTTP layer when the server runs with the corresponding subsystem
-// (see WithIngestQueue and WithEvalCache).
+// Stats summarises the Hive state. Ingest, EvalCache and Store are
+// populated by the HTTP layer when the server runs with the
+// corresponding subsystem (see WithIngestQueue, WithEvalCache and
+// AttachStore).
 type Stats struct {
 	Devices int `json:"devices"`
 	Tasks   int `json:"tasks"`
@@ -362,6 +452,8 @@ type Stats struct {
 	Ingest *IngestStats `json:"ingest,omitempty"`
 	// EvalCache snapshots the evaluation cache, when one is wired in.
 	EvalCache *EvalCacheStats `json:"eval_cache,omitempty"`
+	// Store snapshots the storage engine, when one is attached.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // Stats returns current platform statistics.

@@ -94,21 +94,80 @@ func TestRecoverMissingFileStartsEmpty(t *testing.T) {
 	}
 }
 
+// TestRecoverRejectsCorruptJournal: corruption that cannot be a torn
+// final append — invalid bytes with valid records after them, or a
+// record whose JSON parses but whose event cannot be applied — still
+// fails recovery. (A torn FINAL line is tolerated and truncated instead;
+// see TestRecoverTruncatesTornTail.)
 func TestRecoverRejectsCorruptJournal(t *testing.T) {
+	valid := `{"kind":"register","device":{"id":"d1","user":"alice"}}` + "\n"
+
 	path := filepath.Join(t.TempDir(), "bad.journal")
-	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("{not json\n"+valid), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Recover(path); err == nil {
-		t.Error("corrupt journal should fail recovery")
+	_, _, err := Recover(path)
+	if !errors.Is(err, ErrCorruptJournal) {
+		t.Errorf("valid record after invalid bytes: err = %v, want ErrCorruptJournal", err)
 	}
 
 	unknown := filepath.Join(t.TempDir(), "unknown.journal")
-	if err := os.WriteFile(unknown, []byte(`{"kind":"martian"}`+"\n"), 0o644); err != nil {
+	if err := os.WriteFile(unknown, []byte(`{"kind":"martian"}`+"\n"+valid), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Recover(unknown); err == nil {
-		t.Error("unknown event kind should fail recovery")
+	if _, _, err := Recover(unknown); !errors.Is(err, ErrCorruptJournal) {
+		t.Errorf("unknown event kind: err = %v, want ErrCorruptJournal", err)
+	}
+}
+
+// TestRecoverTruncatesTornTail: a crash mid-append leaves a partial
+// final record; recovery must keep every complete record, drop the torn
+// bytes, and truncate the file so the next append starts at a clean
+// boundary. Exercised at EVERY byte offset of the last event, including
+// offset 0 (nothing of the last record written) and the full length
+// (nothing torn at all).
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	prefix := []byte(`{"kind":"register","device":{"id":"d1","user":"alice","sensors":["gps"],"battery":90,"lat":45.7,"lon":4.8}}` + "\n" +
+		`{"kind":"register","device":{"id":"d2","user":"bob","sensors":["gps"],"battery":80,"lat":45.7,"lon":4.8}}` + "\n")
+	last := []byte(`{"kind":"unregister","deviceId":"d2"}` + "\n")
+
+	for cut := 0; cut <= len(last); cut++ {
+		full := cut == len(last)
+		data := append(append([]byte(nil), prefix...), last[:cut]...)
+		path := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		h, j, err := Recover(path)
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		wantDevices := 2
+		if full {
+			wantDevices = 1 // the unregister applied
+		}
+		if got := len(h.Devices()); got != wantDevices {
+			t.Errorf("cut=%d: devices = %d, want %d", cut, got, wantDevices)
+		}
+
+		// The torn bytes are gone from disk: the journal must accept new
+		// appends at a clean boundary, and a second recovery must see the
+		// new event as valid.
+		must(t, h.RegisterDevice(deviceInfo("d3", "carol", 45.7, 4.8)))
+		if err := j.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		h2, j2, err := Recover(path)
+		if err != nil {
+			t.Fatalf("cut=%d: second recovery failed: %v", cut, err)
+		}
+		if got := len(h2.Devices()); got != wantDevices+1 {
+			t.Errorf("cut=%d: second life devices = %d, want %d", cut, got, wantDevices+1)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -69,9 +69,11 @@ func (m *Metrics) Registry() *obs.Registry {
 }
 
 // BindHive registers the Hive state gauges (devices, tasks, uploads) and
-// — when h carries a journal — the fsync counter, then attaches m to h so
-// SubmitBatch counts per-task admissions. Call once per Hive; NewServer
-// does this for WithMetrics servers. Nil-safe on both receiver and h.
+// — when h carries a storage engine — the store series (fsync counters,
+// segment count, snapshot age/duration, replay cost, per-shard fsyncs),
+// then attaches m to h so SubmitBatch counts per-task admissions. Call
+// once per Hive; NewServer does this for WithMetrics servers. Nil-safe
+// on both receiver and h.
 func (m *Metrics) BindHive(h *Hive) {
 	if m == nil || h == nil {
 		return
@@ -86,10 +88,56 @@ func (m *Metrics) BindHive(h *Hive) {
 	m.reg.GaugeFunc("apisense_hive_uploads",
 		"Uploads retained in the Hive store across all tasks.",
 		func() float64 { return float64(h.Stats().Uploads) })
-	if j := h.journal; j != nil {
-		m.reg.CounterFunc("apisense_journal_fsyncs_total",
-			"Durability barriers (fsync) issued by the upload journal.",
-			func() float64 { return float64(j.Syncs()) })
+	s := h.Store()
+	if s == nil {
+		return
+	}
+	stats := func() StoreStats { return s.Stats() }
+	m.reg.CounterFunc("apisense_journal_fsyncs_total",
+		"Durability barriers (fsync) issued by the storage engine, all files.",
+		func() float64 { return float64(stats().Syncs) })
+	m.reg.GaugeFunc("apisense_store_segments",
+		"Live log files of the storage engine (tail region + meta files).",
+		func() float64 { return float64(stats().Segments) })
+	m.reg.GaugeFunc("apisense_store_log_bytes",
+		"Bytes in the live log files — what the next restart replays.",
+		func() float64 { return float64(stats().LogBytes) })
+	m.reg.CounterFunc("apisense_store_snapshots_total",
+		"Snapshot folds completed by the storage engine.",
+		func() float64 { return float64(stats().Snapshots) })
+	m.reg.CounterFunc("apisense_store_snapshot_failures_total",
+		"Snapshot folds that failed (log retained; retried at the next due point).",
+		func() float64 { return float64(stats().SnapshotFailures) })
+	m.reg.GaugeFunc("apisense_store_snapshot_age_seconds",
+		"Seconds since the last completed snapshot fold; -1 when none has run.",
+		func() float64 {
+			at := stats().LastSnapshotAt
+			if at.IsZero() {
+				return -1
+			}
+			return time.Since(at).Seconds()
+		})
+	m.reg.GaugeFunc("apisense_store_last_snapshot_seconds",
+		"Duration of the last completed snapshot fold.",
+		func() float64 { return stats().LastSnapshotDuration.Seconds() })
+	m.reg.GaugeFunc("apisense_store_replay_seconds",
+		"Duration of the log replay at the last recovery.",
+		func() float64 { return stats().ReplayDuration.Seconds() })
+	m.reg.GaugeFunc("apisense_store_replay_records",
+		"Records streamed by the last recovery.",
+		func() float64 { return float64(stats().ReplayRecords) })
+	shardSyncs := m.reg.CounterFuncVec("apisense_store_shard_fsyncs_total",
+		"Durability barriers (fsync) per data-plane commit shard.",
+		"shard")
+	for i := 0; i < s.Shards(); i++ {
+		shard := i
+		shardSyncs.Bind(func() float64 {
+			ss := stats().ShardSyncs
+			if shard >= len(ss) {
+				return 0
+			}
+			return float64(ss[shard])
+		}, strconv.Itoa(shard))
 	}
 }
 

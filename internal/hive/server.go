@@ -356,5 +356,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		cs := s.evalCache.Stats()
 		st.EvalCache = &cs
 	}
+	if ss, ok := s.hive.StoreStats(); ok {
+		st.Store = &ss
+	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// Journal is the compatibility engine: the platform's original storage
+// format, one append-only JSONL file replayed fully at startup. Restart
+// time and memory grow with history and every commit shares one fsync
+// boundary — prefer Segmented (bounded restart) or Sharded (independent
+// per-task commits) for long-lived or hot deployments. This engine
+// exists so pre-existing journal files keep working byte-for-byte.
+type Journal struct {
+	lf     logFile
+	replay recoveryStats
+}
+
+var _ Store = (*Journal)(nil)
+
+// OpenJournal opens the single-file engine on path. The file is not
+// touched until Recover, which replays it (truncating a torn tail) and
+// readies it for appending; a missing file is an empty store.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, fmt.Errorf("%w: journal path is empty", ErrIO)
+	}
+	return &Journal{lf: logFile{path: path, syncEvery: 1}}, nil
+}
+
+// Recover implements Store.
+func (j *Journal) Recover(_ func([]byte) error, record func([]byte) error) error {
+	start := time.Now()
+	n, size, err := replayFile(j.lf.path, true, record)
+	if err != nil {
+		return err
+	}
+	j.replay.duration.Store(int64(time.Since(start)))
+	j.replay.records.Store(n)
+	j.lf.mu.Lock()
+	defer j.lf.mu.Unlock()
+	j.lf.size = size
+	return j.lf.open()
+}
+
+// AppendMeta implements Store: meta and data records share the one file.
+func (j *Journal) AppendMeta(recs [][]byte) error { return j.lf.append(recs) }
+
+// AppendBatch implements Store; the shard argument is ignored — a
+// single-file engine has exactly one commit boundary.
+func (j *Journal) AppendBatch(_ int, recs [][]byte) error { return j.lf.append(recs) }
+
+// Shards implements Store: one commit boundary.
+func (j *Journal) Shards() int { return 1 }
+
+// ShardFor implements Store: everything commits on shard 0.
+func (j *Journal) ShardFor(string) int { return 0 }
+
+// SnapshotDue implements Store: the journal never compacts.
+func (j *Journal) SnapshotDue() bool { return false }
+
+// WriteSnapshot implements Store as a no-op — the journal keeps full
+// history by design (SnapshotDue is always false, so the Hive never
+// calls this).
+func (j *Journal) WriteSnapshot([]byte) error { return nil }
+
+// SetSyncEvery implements Store.
+func (j *Journal) SetSyncEvery(n int) { j.lf.setSyncEvery(n) }
+
+// Syncs reports how many fsyncs the journal has performed — the
+// group-commit effectiveness gauge: uploads ingested per sync is the
+// amortisation factor.
+func (j *Journal) Syncs() uint64 { return j.lf.syncs.Load() }
+
+// Stats implements Store.
+func (j *Journal) Stats() Stats {
+	size, syncs := j.lf.bytesAndSyncs()
+	s := Stats{
+		Engine:     EngineJournal,
+		Shards:     1,
+		Segments:   1,
+		LogBytes:   size,
+		Syncs:      syncs,
+		ShardSyncs: []uint64{syncs},
+	}
+	j.replay.fill(&s)
+	return s
+}
+
+// Close implements Store: syncs outstanding commits and releases the
+// file. The descriptor is closed even when the sync fails.
+func (j *Journal) Close() error { return j.lf.close() }

@@ -1,0 +1,429 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SegmentedConfig sizes the compacting engine. The zero value gets
+// sensible defaults.
+type SegmentedConfig struct {
+	// SegmentBytes is the tail rotation threshold: once the tail file
+	// grows past it, the tail is sealed (synced and closed) and a fresh
+	// one opened. Default 4 MiB.
+	SegmentBytes int64
+	// SnapshotEvery triggers a fold: after this many segments have been
+	// sealed since the last snapshot, SnapshotDue turns true and the
+	// owner folds its state via WriteSnapshot. Default 4.
+	SnapshotEvery int
+}
+
+func (c SegmentedConfig) withDefaults() SegmentedConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4
+	}
+	return c
+}
+
+// Segmented is the snapshot+tail compacting engine. Records append to a
+// tail file that rotates at SegmentBytes; after SnapshotEvery rotations
+// the owner folds its complete in-memory state into an immutable
+// snapshot file and the superseded segments are deleted. Recovery is
+// snapshot + remaining segments — O(writes since the last fold), not
+// O(history).
+//
+// On-disk layout (one directory): snapshot-%08d.json is the newest fold,
+// named by the highest segment it covers; seg-%08d.log are the segments
+// after it, the highest being the live tail. A fold is crash-safe: the
+// snapshot lands via tmp-file + atomic rename before any segment is
+// deleted, and recovery ignores (and prunes) segments the snapshot
+// already covers, so an interrupted fold can only leave harmless
+// leftovers.
+type Segmented struct {
+	dir string
+	cfg SegmentedConfig
+
+	// mu is the engine's commit lock: it serialises append+fsync,
+	// rotation and folding. Held across the sync by design — it is the
+	// commit boundary, and nothing that reads registry state contends on
+	// it.
+	//
+	//lint:allowsync designated commit lock, serialises append+fsync and rotation by design
+	mu        sync.Mutex
+	tail      *os.File
+	tailSeq   int
+	tailSize  int64
+	liveSegs  []int // live segment seqs, ascending; last is the tail
+	sealed    int   // segments sealed since the last fold
+	pending   int
+	syncEvery int
+	ready     bool
+
+	due              atomic.Bool
+	syncs            atomic.Uint64
+	snapshots        atomic.Uint64
+	snapshotFailures atomic.Uint64
+	lastSnapshotNs   atomic.Int64 // unix ns; 0 = never
+	snapshotDurNs    atomic.Int64
+	replay           recoveryStats
+}
+
+var _ Store = (*Segmented)(nil)
+
+// OpenSegmented opens the compacting engine on dir, creating the
+// directory if needed. Nothing is read until Recover.
+func OpenSegmented(dir string, cfg SegmentedConfig) (*Segmented, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("%w: segmented store dir is empty", ErrIO)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: mkdir %s: %w", ErrIO, dir, err)
+	}
+	return &Segmented{dir: dir, cfg: cfg.withDefaults(), syncEvery: 1}, nil
+}
+
+const (
+	segPrefix  = "seg-"
+	segSuffix  = ".log"
+	snapPrefix = "snapshot-"
+	snapSuffix = ".json"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(seq int) string  { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+func snapName(seq int) string { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
+
+// parseSeq extracts the sequence number of a seg-/snapshot- file name,
+// or -1 if name is not one.
+func parseSeq(name, prefix, suffix string) int {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return -1
+	}
+	rest, ok = strings.CutSuffix(rest, suffix)
+	if !ok {
+		return -1
+	}
+	var seq int
+	if _, err := fmt.Sscanf(rest, "%d", &seq); err != nil || seq < 0 {
+		return -1
+	}
+	return seq
+}
+
+// Recover implements Store: restore the newest snapshot (if any), replay
+// the segments after it in order — strict for sealed segments, torn-tail
+// tolerant for the live tail — prune files an interrupted fold left
+// behind, and open the tail for appending.
+func (s *Segmented) Recover(snapshot func([]byte) error, record func([]byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("%w: read dir %s: %w", ErrIO, s.dir, err)
+	}
+	snapSeq := -1
+	var segs, oldSnaps []int
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(s.dir, name)) // interrupted fold leftovers
+			continue
+		}
+		if seq := parseSeq(name, snapPrefix, snapSuffix); seq >= 0 {
+			if seq > snapSeq {
+				if snapSeq >= 0 {
+					oldSnaps = append(oldSnaps, snapSeq)
+				}
+				snapSeq = seq
+			} else {
+				oldSnaps = append(oldSnaps, seq)
+			}
+			continue
+		}
+		if seq := parseSeq(name, segPrefix, segSuffix); seq >= 0 {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Ints(segs)
+
+	if snapSeq >= 0 {
+		state, err := os.ReadFile(filepath.Join(s.dir, snapName(snapSeq)))
+		if err != nil {
+			return fmt.Errorf("%w: read snapshot %d: %w", ErrIO, snapSeq, err)
+		}
+		if err := snapshot(state); err != nil {
+			return err
+		}
+	}
+
+	var n int64
+	live := segs[:0]
+	for i, seq := range segs {
+		path := filepath.Join(s.dir, segName(seq))
+		if seq <= snapSeq {
+			// Covered by the snapshot: an interrupted fold did not get to
+			// delete it. Replaying it would double-apply history.
+			os.Remove(path)
+			continue
+		}
+		tolerant := i == len(segs)-1 // only the tail can be mid-append at a crash
+		rn, size, err := replayFile(path, tolerant, record)
+		if err != nil {
+			return err
+		}
+		n += rn
+		live = append(live, seq)
+		s.tailSeq, s.tailSize = seq, size
+	}
+	for _, seq := range oldSnaps {
+		os.Remove(filepath.Join(s.dir, snapName(seq)))
+	}
+	if len(live) == 0 {
+		s.tailSeq, s.tailSize = snapSeq+1, 0
+		live = append(live, s.tailSeq)
+	}
+	s.liveSegs = append([]int(nil), live...)
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.tailSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: open tail segment %d: %w", ErrIO, s.tailSeq, err)
+	}
+	s.tail = f
+	// Sealed-but-unfolded segments survive a restart; re-arm the fold
+	// trigger so long-lived histories still converge to snapshot + tail.
+	s.sealed = len(live) - 1
+	s.due.Store(s.sealed >= s.cfg.SnapshotEvery)
+	s.ready = true
+	s.replay.duration.Store(int64(time.Since(start)))
+	s.replay.records.Store(n)
+	return nil
+}
+
+// AppendMeta implements Store: meta and data records share the tail.
+func (s *Segmented) AppendMeta(recs [][]byte) error { return s.append(recs) }
+
+// AppendBatch implements Store; the shard argument is ignored — the
+// segmented engine has one commit boundary.
+func (s *Segmented) AppendBatch(_ int, recs [][]byte) error { return s.append(recs) }
+
+func (s *Segmented) append(recs [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ready {
+		return fmt.Errorf("%w: %s: append before Recover (or after Close)", ErrIO, s.dir)
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		buf.Write(rec)
+		buf.WriteByte('\n')
+	}
+	if _, err := s.tail.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("%w: append segment %d: %w", ErrIO, s.tailSeq, err)
+	}
+	s.tailSize += int64(buf.Len())
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	if s.tailSize >= s.cfg.SegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// commitLocked advances the group-commit boundary, syncing per the
+// cadence.
+func (s *Segmented) commitLocked() error {
+	if s.syncEvery <= 0 {
+		return nil
+	}
+	s.pending++
+	if s.pending < s.syncEvery {
+		return nil
+	}
+	s.pending = 0
+	if err := s.tail.Sync(); err != nil {
+		return fmt.Errorf("%w: sync segment %d: %w", ErrIO, s.tailSeq, err)
+	}
+	s.syncs.Add(1)
+	return nil
+}
+
+// rotateLocked seals the tail (sync + close: sealed segments are fully
+// durable regardless of the commit cadence) and opens the next one,
+// arming the fold trigger when enough history has sealed.
+func (s *Segmented) rotateLocked() error {
+	if err := s.tail.Sync(); err != nil {
+		return fmt.Errorf("%w: seal segment %d: %w", ErrIO, s.tailSeq, err)
+	}
+	s.syncs.Add(1)
+	s.pending = 0
+	if err := s.tail.Close(); err != nil {
+		return fmt.Errorf("%w: seal segment %d: %w", ErrIO, s.tailSeq, err)
+	}
+	s.tailSeq++
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.tailSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.tail, s.ready = nil, false
+		return fmt.Errorf("%w: open segment %d: %w", ErrIO, s.tailSeq, err)
+	}
+	s.tail, s.tailSize = f, 0
+	s.liveSegs = append(s.liveSegs, s.tailSeq)
+	s.sealed++
+	if s.sealed >= s.cfg.SnapshotEvery {
+		s.due.Store(true)
+	}
+	return nil
+}
+
+// Shards implements Store: one commit boundary.
+func (s *Segmented) Shards() int { return 1 }
+
+// ShardFor implements Store: everything commits on shard 0.
+func (s *Segmented) ShardFor(string) int { return 0 }
+
+// SnapshotDue implements Store.
+func (s *Segmented) SnapshotDue() bool { return s.due.Load() }
+
+// WriteSnapshot implements Store: write state to a tmp file, sync it,
+// atomically rename it over the engine's snapshot slot, then retire
+// every segment it covers (including the current tail) and start a fresh
+// tail. The caller quiesces appends for the duration. On failure the
+// fold trigger is disarmed — it re-arms at the next rotation, bounding
+// retry frequency — and the failure is counted; a failure before the
+// rename leaves the log fully intact.
+func (s *Segmented) WriteSnapshot(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.due.Store(false)
+	if !s.ready {
+		return fmt.Errorf("%w: %s: snapshot before Recover (or after Close)", ErrIO, s.dir)
+	}
+	start := time.Now()
+	err := s.foldLocked(state)
+	if err != nil {
+		s.snapshotFailures.Add(1)
+		return err
+	}
+	s.snapshots.Add(1)
+	s.lastSnapshotNs.Store(start.UnixNano())
+	s.snapshotDurNs.Store(int64(time.Since(start)))
+	return nil
+}
+
+func (s *Segmented) foldLocked(state []byte) error {
+	covered := s.tailSeq // the snapshot includes everything up to and including the tail
+	tmp := filepath.Join(s.dir, snapName(covered)+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: create snapshot tmp: %w", ErrIO, err)
+	}
+	if _, err := f.Write(state); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: write snapshot: %w", ErrIO, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: sync snapshot: %w", ErrIO, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: close snapshot: %w", ErrIO, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName(covered))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: publish snapshot: %w", ErrIO, err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable: everything below is cleanup that recovery
+	// redoes if interrupted. Retire the folded log and start fresh.
+	s.tail.Close() // contents are in the snapshot; no sync needed
+	for _, seq := range s.liveSegs {
+		os.Remove(filepath.Join(s.dir, segName(seq)))
+	}
+	// Older snapshots are superseded by the one just published.
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			if seq := parseSeq(e.Name(), snapPrefix, snapSuffix); seq >= 0 && seq < covered {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	s.tailSeq = covered + 1
+	f, err = os.OpenFile(filepath.Join(s.dir, segName(s.tailSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.tail, s.ready = nil, false
+		return fmt.Errorf("%w: open post-fold tail: %w", ErrIO, err)
+	}
+	s.tail, s.tailSize, s.pending = f, 0, 0
+	s.liveSegs = []int{s.tailSeq}
+	s.sealed = 0
+	return nil
+}
+
+// SetSyncEvery implements Store.
+func (s *Segmented) SetSyncEvery(n int) {
+	s.mu.Lock()
+	s.syncEvery = n
+	s.mu.Unlock()
+}
+
+// Stats implements Store.
+func (s *Segmented) Stats() Stats {
+	s.mu.Lock()
+	segs := len(s.liveSegs)
+	size := s.tailSize
+	s.mu.Unlock()
+	syncs := s.syncs.Load()
+	st := Stats{
+		Engine:               EngineSegmented,
+		Shards:               1,
+		Segments:             segs,
+		LogBytes:             size, // tail only; sealed segments are awaiting a fold
+		Syncs:                syncs,
+		ShardSyncs:           []uint64{syncs},
+		Snapshots:            s.snapshots.Load(),
+		SnapshotFailures:     s.snapshotFailures.Load(),
+		LastSnapshotDuration: time.Duration(s.snapshotDurNs.Load()),
+	}
+	if ns := s.lastSnapshotNs.Load(); ns != 0 {
+		st.LastSnapshotAt = time.Unix(0, ns)
+	}
+	s.replay.fill(&st)
+	return st
+}
+
+// Close implements Store: syncs outstanding commits and releases the
+// tail. The descriptor is closed even when the sync fails.
+func (s *Segmented) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tail == nil {
+		return nil
+	}
+	syncErr := s.tail.Sync()
+	closeErr := s.tail.Close() // always runs: no fd leak when the sync fails
+	s.tail, s.ready = nil, false
+	if syncErr != nil {
+		return fmt.Errorf("%w: close sync segment %d: %w", ErrIO, s.tailSeq, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("%w: close segment %d: %w", ErrIO, s.tailSeq, closeErr)
+	}
+	return nil
+}

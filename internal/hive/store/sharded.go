@@ -1,0 +1,197 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ShardedConfig sizes the sharded engine. The zero value gets sensible
+// defaults.
+type ShardedConfig struct {
+	// Shards is the number of per-task upload files, each with its own
+	// group-commit boundary. Default 8.
+	Shards int
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// Sharded is the per-task sharded engine: registry (meta) events append
+// to meta.log while uploads land in shard-%02d.log files chosen by task
+// hash, each shard with an independent append+fsync boundary. Two hot
+// tasks hashing to different shards commit concurrently instead of
+// serialising on one descriptor. The engine keeps full history (no
+// snapshots); recovery replays every file, which is order-safe because
+// hive replay is validation-free and upload order only matters within a
+// task — and one task always lands in one shard, in order.
+//
+// Shrinking Shards across restarts is safe: orphan shard files beyond
+// the configured count are still replayed (then left untouched), they
+// just receive no new writes.
+type Sharded struct {
+	dir    string
+	cfg    ShardedConfig
+	meta   logFile
+	shards []logFile
+	replay recoveryStats
+}
+
+var _ Store = (*Sharded)(nil)
+
+// OpenSharded opens the sharded engine on dir, creating the directory
+// if needed. Nothing is read until Recover.
+func OpenSharded(dir string, cfg ShardedConfig) (*Sharded, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("%w: sharded store dir is empty", ErrIO)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: mkdir %s: %w", ErrIO, dir, err)
+	}
+	cfg = cfg.withDefaults()
+	s := &Sharded{dir: dir, cfg: cfg}
+	s.meta = logFile{path: filepath.Join(dir, "meta.log"), syncEvery: 1}
+	s.shards = make([]logFile, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = logFile{path: filepath.Join(dir, shardName(i)), syncEvery: 1}
+	}
+	return s, nil
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%02d.log", i) }
+
+// Recover implements Store: replay meta.log first (registry state before
+// the uploads that reference it), then every shard file in the directory
+// ascending — including orphans from a larger previous shard count. All
+// files are torn-tail tolerant: a crash can land mid-append on any of
+// them, since each has its own commit boundary.
+func (s *Sharded) Recover(_ func([]byte) error, record func([]byte) error) error {
+	start := time.Now()
+	n, size, err := replayFile(s.meta.path, true, record)
+	if err != nil {
+		return err
+	}
+	s.meta.mu.Lock()
+	s.meta.size = size
+	err = s.meta.open()
+	s.meta.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("%w: read dir %s: %w", ErrIO, s.dir, err)
+	}
+	var orphans []string
+	for _, e := range entries {
+		var idx int
+		if _, serr := fmt.Sscanf(e.Name(), "shard-%d.log", &idx); serr == nil && idx >= len(s.shards) {
+			orphans = append(orphans, e.Name())
+		}
+	}
+	for i := range s.shards {
+		lf := &s.shards[i]
+		rn, size, err := replayFile(lf.path, true, record)
+		if err != nil {
+			return err
+		}
+		n += rn
+		lf.mu.Lock()
+		lf.size = size
+		err = lf.open()
+		lf.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	for _, name := range orphans {
+		rn, _, err := replayFile(filepath.Join(s.dir, name), true, record)
+		if err != nil {
+			return err
+		}
+		n += rn
+	}
+	s.replay.duration.Store(int64(time.Since(start)))
+	s.replay.records.Store(n)
+	return nil
+}
+
+// AppendMeta implements Store: registry events commit on meta.log's own
+// boundary, independent of every upload shard.
+func (s *Sharded) AppendMeta(recs [][]byte) error { return s.meta.append(recs) }
+
+// AppendBatch implements Store: recs commit on shard's file and fsync
+// boundary only.
+func (s *Sharded) AppendBatch(shard int, recs [][]byte) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("%w: shard %d out of range [0,%d)", ErrIO, shard, len(s.shards))
+	}
+	return s.shards[shard].append(recs)
+}
+
+// Shards implements Store.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// ShardFor implements Store: FNV-1a of the task key modulo the shard
+// count, so a task's uploads always land in one file, in order.
+func (s *Sharded) ShardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// SnapshotDue implements Store: the sharded engine keeps full history.
+func (s *Sharded) SnapshotDue() bool { return false }
+
+// WriteSnapshot implements Store as a no-op — SnapshotDue is always
+// false, so the Hive never calls this.
+func (s *Sharded) WriteSnapshot([]byte) error { return nil }
+
+// SetSyncEvery implements Store: the cadence applies independently to
+// meta.log and each shard.
+func (s *Sharded) SetSyncEvery(n int) {
+	s.meta.setSyncEvery(n)
+	for i := range s.shards {
+		s.shards[i].setSyncEvery(n)
+	}
+}
+
+// Stats implements Store.
+func (s *Sharded) Stats() Stats {
+	st := Stats{
+		Engine:     EngineSharded,
+		Shards:     len(s.shards),
+		Segments:   len(s.shards) + 1,
+		ShardSyncs: make([]uint64, len(s.shards)),
+	}
+	metaBytes, metaSyncs := s.meta.bytesAndSyncs()
+	st.LogBytes = metaBytes
+	st.MetaSyncs = metaSyncs
+	st.Syncs = metaSyncs
+	for i := range s.shards {
+		bytes, syncs := s.shards[i].bytesAndSyncs()
+		st.LogBytes += bytes
+		st.ShardSyncs[i] = syncs
+		st.Syncs += syncs
+	}
+	s.replay.fill(&st)
+	return st
+}
+
+// Close implements Store: syncs and closes meta.log and every shard.
+// All files are closed even when some fail; the first error wins.
+func (s *Sharded) Close() error {
+	errs := []error{s.meta.close()}
+	for i := range s.shards {
+		errs = append(errs, s.shards[i].close())
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,378 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// rec builds a small JSON record with a distinguishing sequence number.
+func rec(n int) []byte {
+	return []byte(fmt.Sprintf(`{"seq":%d}`, n))
+}
+
+// collect recovers a store and returns the snapshot blob (nil if none)
+// and the replayed records in order.
+func collect(t *testing.T, s Store) ([]byte, [][]byte) {
+	t.Helper()
+	var snap []byte
+	var recs [][]byte
+	err := s.Recover(
+		func(state []byte) error { snap = append([]byte(nil), state...); return nil },
+		func(r []byte) error { recs = append(recs, append([]byte(nil), r...)); return nil },
+	)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return snap, recs
+}
+
+func seqs(recs [][]byte) []int {
+	out := make([]int, len(recs))
+	for i, r := range recs {
+		var v struct{ Seq int }
+		if err := json.Unmarshal(r, &v); err != nil {
+			panic(err)
+		}
+		out[i] = v.Seq
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJournalEngineRoundTrip: records appended in one life replay in
+// order in the next.
+func TestJournalEngineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, recs := collect(t, j); len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	if err := j.AppendMeta([][]byte{rec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendBatch(0, [][]byte{rec(2), rec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_, recs := collect(t, j2)
+	if got := seqs(recs); !equalInts(got, []int{1, 2, 3}) {
+		t.Errorf("replayed %v, want [1 2 3]", got)
+	}
+	st := j2.Stats()
+	if st.Engine != EngineJournal || st.Shards != 1 || st.ReplayRecords != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestAppendBeforeRecoverFails: the lifecycle is construct → Recover →
+// append; an append on an unrecovered store is an ErrIO, not a panic.
+func TestAppendBeforeRecoverFails(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMeta([][]byte{rec(1)}); !errors.Is(err, ErrIO) {
+		t.Errorf("append before recover: %v, want ErrIO", err)
+	}
+	s, err := OpenSegmented(t.TempDir(), SegmentedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendMeta([][]byte{rec(1)}); !errors.Is(err, ErrIO) {
+		t.Errorf("segmented append before recover: %v, want ErrIO", err)
+	}
+}
+
+// TestCloseReleasesFdWhenSyncFails: Close must close the descriptor even
+// when the final fsync fails (fsync on a pipe fails with EINVAL). The
+// reader observing EOF proves the write end was actually closed — the
+// historical bug leaked it.
+func TestCloseReleasesFdWhenSyncFails(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	lf := &logFile{path: "pipe", syncEvery: 1}
+	lf.f = w
+	if err := lf.close(); !errors.Is(err, ErrIO) {
+		t.Errorf("close with failing sync: err = %v, want ErrIO", err)
+	}
+	// EOF on the read end proves the write end is closed, not leaked.
+	buf := make([]byte, 1)
+	if n, err := r.Read(buf); err == nil || n != 0 {
+		t.Errorf("pipe read after close: n=%d err=%v, want EOF", n, err)
+	}
+	// Idempotent: a second close is a clean no-op.
+	if err := lf.close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestTornTailTruncation: a partial final record — at every byte offset —
+// is dropped and physically truncated; complete records survive.
+func TestTornTailTruncation(t *testing.T) {
+	complete := append(append(rec(1), '\n'), append(rec(2), '\n')...)
+	last := append(rec(3), '\n')
+
+	for cut := 0; cut < len(last); cut++ {
+		path := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(path, append(append([]byte(nil), complete...), last[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		n, size, err := replayFile(path, true, func(r []byte) error {
+			got = append(got, seqs([][]byte{r})[0])
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if !equalInts(got, []int{1, 2}) || n != 2 {
+			t.Errorf("cut=%d: replayed %v (n=%d), want [1 2]", cut, got, n)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != int64(len(complete)) || size != int64(len(complete)) {
+			t.Errorf("cut=%d: file size %d (reported %d), want %d (torn bytes truncated)",
+				cut, fi.Size(), size, len(complete))
+		}
+	}
+
+	// Strict mode refuses the same tear.
+	path := filepath.Join(t.TempDir(), "sealed.log")
+	if err := os.WriteFile(path, append(append([]byte(nil), complete...), last[:3]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayFile(path, false, func([]byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("strict replay of torn file: %v, want ErrCorrupt", err)
+	}
+
+	// Valid record AFTER invalid bytes is corruption in both modes.
+	path = filepath.Join(t.TempDir(), "corrupt.log")
+	if err := os.WriteFile(path, []byte("garbage\n"+string(rec(9))+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayFile(path, true, func([]byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tolerant replay of mid-file corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSegmentedRotationAndFold: the tail rotates at the size threshold,
+// SnapshotDue arms after SnapshotEvery sealed segments, and a fold
+// retires every covered segment, leaving snapshot + fresh tail.
+func TestSegmentedRotationAndFold(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, SegmentedConfig{SegmentBytes: 32, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, s)
+
+	// Each record is ~10 bytes; 32-byte segments seal after a few.
+	n := 0
+	for !s.SnapshotDue() {
+		n++
+		if n > 1000 {
+			t.Fatal("snapshot never became due")
+		}
+		if err := s.AppendBatch(0, [][]byte{rec(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := s.Stats().Segments; segs < 3 {
+		t.Errorf("segments before fold = %d, want >= 3", segs)
+	}
+
+	state := []byte(`{"upTo":` + fmt.Sprint(n) + `}`)
+	if err := s.WriteSnapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	if s.SnapshotDue() {
+		t.Error("SnapshotDue still set after a successful fold")
+	}
+	st := s.Stats()
+	if st.Snapshots != 1 || st.Segments != 1 || st.LogBytes != 0 {
+		t.Errorf("post-fold stats = %+v", st)
+	}
+
+	// Appends continue on the fresh tail; recovery = snapshot + tail.
+	if err := s.AppendBatch(0, [][]byte{rec(n + 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSegmented(dir, SegmentedConfig{SegmentBytes: 32, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap, recs := collect(t, s2)
+	if string(snap) != string(state) {
+		t.Errorf("recovered snapshot = %q, want %q", snap, state)
+	}
+	if got := seqs(recs); !equalInts(got, []int{n + 1}) {
+		t.Errorf("tail replay = %v, want [%d] (history is in the snapshot)", got, n+1)
+	}
+}
+
+// TestSegmentedRecoverPrunesCoveredSegments: a crash between publishing
+// a snapshot and deleting the segments it covers must not double-apply —
+// recovery skips and removes segments at or below the snapshot watermark.
+func TestSegmentedRecoverPrunesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate the crash window by hand: a snapshot covering segment 3,
+	// a stale covered segment 2, a live segment 4, and fold leftovers.
+	if err := os.WriteFile(filepath.Join(dir, snapName(3)), []byte(`{"s":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(1)), []byte(`{"stale":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), append(rec(2), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), append(rec(4), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(9)+tmpSuffix), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSegmented(dir, SegmentedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	snap, recs := collect(t, s)
+	if string(snap) != `{"s":1}` {
+		t.Errorf("snapshot = %q, want the newest one", snap)
+	}
+	if got := seqs(recs); !equalInts(got, []int{4}) {
+		t.Errorf("replay = %v, want [4] (covered segment must not replay)", got)
+	}
+	for _, stale := range []string{segName(2), snapName(1), snapName(9) + tmpSuffix} {
+		if _, err := os.Stat(filepath.Join(dir, stale)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s still present after recovery", stale)
+		}
+	}
+}
+
+// TestShardedIndependentCommits: uploads for tasks on different shards
+// land in different files with separate fsync counters — the
+// no-serialisation proof — and replay together with meta records.
+func TestShardedIndependentCommits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, s)
+
+	// Find two keys on distinct shards.
+	a, b := "task-a", ""
+	for i := 0; b == ""; i++ {
+		if k := fmt.Sprintf("task-%d", i); s.ShardFor(k) != s.ShardFor(a) {
+			b = k
+		}
+	}
+	sa, sb := s.ShardFor(a), s.ShardFor(b)
+
+	if err := s.AppendMeta([][]byte{rec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AppendBatch(sa, [][]byte{rec(10 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AppendBatch(sb, [][]byte{rec(20)}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.MetaSyncs != 1 {
+		t.Errorf("meta syncs = %d, want 1", st.MetaSyncs)
+	}
+	if st.ShardSyncs[sa] != 3 || st.ShardSyncs[sb] != 1 {
+		t.Errorf("shard syncs = %v, want 3 on shard %d and 1 on shard %d", st.ShardSyncs, sa, sb)
+	}
+	for i, n := range st.ShardSyncs {
+		if i != sa && i != sb && n != 0 {
+			t.Errorf("untouched shard %d has %d syncs", i, n)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, recs := collect(t, s2)
+	if len(recs) != 5 {
+		t.Errorf("replayed %d records, want 5", len(recs))
+	}
+}
+
+// TestShardedShrinkReplaysOrphans: shrinking the shard count across
+// restarts still replays the now-orphaned higher shard files.
+func TestShardedShrinkReplaysOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, s)
+	for shard := 0; shard < 4; shard++ {
+		if err := s.AppendBatch(shard, [][]byte{rec(shard)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, recs := collect(t, s2)
+	if len(recs) != 4 {
+		t.Errorf("replayed %d records after shrink, want 4 (orphans included)", len(recs))
+	}
+}

@@ -221,6 +221,51 @@ func (r *Registry) registerFunc(name, help, kind string, fn func() float64) {
 	r.families[name] = &family{name: name, help: help, kind: kind, fn: fn}
 }
 
+// CounterFuncVec registers (or finds) a labelled counter family whose
+// series are collect-time callbacks — for per-entity monotone counters
+// another subsystem maintains (e.g. per-shard store fsyncs). Bind each
+// label combination once. Nil-safe on a nil registry.
+func (r *Registry) CounterFuncVec(name, help string, labels ...string) *FuncVec {
+	if r == nil {
+		return nil
+	}
+	return &FuncVec{f: r.lookup(name, help, "counter", labels, nil, nil)}
+}
+
+// GaugeFuncVec registers (or finds) a labelled gauge family whose series
+// are collect-time callbacks (see CounterFuncVec). Nil-safe on a nil
+// registry.
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *FuncVec {
+	if r == nil {
+		return nil
+	}
+	return &FuncVec{f: r.lookup(name, help, "gauge", labels, nil, nil)}
+}
+
+// FuncVec is a labelled collect-time callback family: each bound label
+// combination reads its value from its own callback at scrape time.
+type FuncVec struct{ f *family }
+
+// Bind installs fn as the series for one combination of label values, in
+// the declared label-name order. Binding the same combination twice
+// panics — a callback series has exactly one owner. Nil-safe: a nil vec
+// (or wrong arity) ignores the bind.
+func (v *FuncVec) Bind(fn func() float64, values ...string) {
+	if v == nil || len(values) != len(v.f.labels) {
+		return
+	}
+	sig := labelSig(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if _, ok := v.f.children[sig]; ok {
+		panic(fmt.Sprintf("obs: callback series %s{%s} bound twice", v.f.name, sig))
+	}
+	v.f.children[sig] = &funcSeries{fn: fn}
+}
+
+// funcSeries is one bound callback series of a FuncVec.
+type funcSeries struct{ fn func() float64 }
+
 // Counter is a monotonically increasing value. All methods are nil-safe
 // no-ops on a nil receiver and safe for concurrent use.
 type Counter struct {
@@ -456,6 +501,9 @@ func writeChild(w io.Writer, name, sig string, c any) error {
 	switch m := c.(type) {
 	case *Counter:
 		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(name, sig), formatValue(m.Value()))
+		return err
+	case *funcSeries:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(name, sig), formatValue(m.fn()))
 		return err
 	case *Gauge:
 		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(name, sig), formatValue(m.Value()))

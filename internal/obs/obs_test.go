@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -217,5 +218,61 @@ func TestFormatValue(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "inf_gauge +Inf") {
 		t.Errorf("infinity not rendered as +Inf:\n%s", b.String())
+	}
+}
+
+// TestFuncVec: labelled callback series render per bound combination,
+// sorted by label signature, reading their callbacks at collect time.
+func TestFuncVec(t *testing.T) {
+	r := NewRegistry()
+	shards := []float64{7, 3}
+	v := r.CounterFuncVec("shard_fsyncs_total", "per-shard fsyncs", "shard")
+	for i := range shards {
+		i := i
+		v.Bind(func() float64 { return shards[i] }, strconv.Itoa(i))
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`shard_fsyncs_total{shard="0"} 7`, `shard_fsyncs_total{shard="1"} 3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Live: the callback is re-read every collect.
+	shards[0] = 9
+	b.Reset()
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `shard_fsyncs_total{shard="0"} 9`) {
+		t.Errorf("callback not re-read at collect:\n%s", b.String())
+	}
+
+	// Rebinding a bound combination panics — one owner per series.
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Bind did not panic")
+		}
+	}()
+	v.Bind(func() float64 { return 0 }, "0")
+}
+
+// TestFuncVecNilSafe: a nil vec and wrong arity are ignored, matching
+// the other nil-safe instruments.
+func TestFuncVecNilSafe(t *testing.T) {
+	var v *FuncVec
+	v.Bind(func() float64 { return 1 }, "x") // must not panic
+	r := NewRegistry()
+	v2 := r.GaugeFuncVec("wrong_arity", "gauge", "a", "b")
+	v2.Bind(func() float64 { return 1 }, "only-one") // arity mismatch: ignored
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "only-one") {
+		t.Errorf("arity-mismatched bind rendered:\n%s", b.String())
 	}
 }
