@@ -213,6 +213,17 @@ func (h *Hive) maybeSnapshot() {
 			commit[i].Unlock()
 		}
 	}()
+	// Re-check under the quiesce locks: if AttachStore swapped the engine
+	// (or its commit slice) since the snapshot above, the mutexes held
+	// here no longer exclude writers on the new slice — folding now could
+	// miss in-flight appends. Bail; the new attachment owns snapshotting.
+	h.mu.RLock()
+	swapped := h.store != s || len(h.commit) != len(commit) ||
+		(len(commit) > 0 && &h.commit[0] != &commit[0])
+	h.mu.RUnlock()
+	if swapped {
+		return
+	}
 	if !s.SnapshotDue() { // another committer folded first
 		return
 	}

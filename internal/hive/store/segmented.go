@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,15 +60,16 @@ type Segmented struct {
 	// it.
 	//
 	//lint:allowsync designated commit lock, serialises append+fsync and rotation by design
-	mu        sync.Mutex
-	tail      *os.File
-	tailSeq   int
-	tailSize  int64
-	liveSegs  []int // live segment seqs, ascending; last is the tail
-	sealed    int   // segments sealed since the last fold
-	pending   int
-	syncEvery int
-	ready     bool
+	mu          sync.Mutex
+	tail        *os.File
+	tailSeq     int
+	tailSize    int64
+	sealedBytes int64 // bytes in sealed-but-unfolded segments, replayed at restart
+	liveSegs    []int // live segment seqs, ascending; last is the tail
+	sealed      int   // segments sealed since the last fold
+	pending     int
+	syncEvery   int
+	ready       bool
 
 	due              atomic.Bool
 	syncs            atomic.Uint64
@@ -103,8 +105,9 @@ const (
 func segName(seq int) string  { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
 func snapName(seq int) string { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
 
-// parseSeq extracts the sequence number of a seg-/snapshot- file name,
-// or -1 if name is not one.
+// parseSeq extracts the sequence number of an engine file name, or -1 if
+// name is not exactly prefix+digits+suffix. Strict on purpose: operator
+// leftovers like seg-00000003.log.bak must not replay as live history.
 func parseSeq(name, prefix, suffix string) int {
 	rest, ok := strings.CutPrefix(name, prefix)
 	if !ok {
@@ -114,8 +117,16 @@ func parseSeq(name, prefix, suffix string) int {
 	if !ok {
 		return -1
 	}
-	var seq int
-	if _, err := fmt.Sscanf(rest, "%d", &seq); err != nil || seq < 0 {
+	if rest == "" {
+		return -1
+	}
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return -1
+		}
+	}
+	seq, err := strconv.Atoi(rest)
+	if err != nil { // digits only, so only overflow lands here
 		return -1
 	}
 	return seq
@@ -171,6 +182,7 @@ func (s *Segmented) Recover(snapshot func([]byte) error, record func([]byte) err
 
 	var n int64
 	live := segs[:0]
+	s.sealedBytes = 0
 	for i, seq := range segs {
 		path := filepath.Join(s.dir, segName(seq))
 		if seq <= snapSeq {
@@ -186,6 +198,7 @@ func (s *Segmented) Recover(snapshot func([]byte) error, record func([]byte) err
 		}
 		n += rn
 		live = append(live, seq)
+		s.sealedBytes += s.tailSize // the previous segment is now known sealed
 		s.tailSeq, s.tailSize = seq, size
 	}
 	for _, seq := range oldSnaps {
@@ -278,6 +291,7 @@ func (s *Segmented) rotateLocked() error {
 		s.tail, s.ready = nil, false
 		return fmt.Errorf("%w: open segment %d: %w", ErrIO, s.tailSeq, err)
 	}
+	s.sealedBytes += s.tailSize
 	s.tail, s.tailSize = f, 0
 	s.liveSegs = append(s.liveSegs, s.tailSeq)
 	s.sealed++
@@ -301,8 +315,11 @@ func (s *Segmented) SnapshotDue() bool { return s.due.Load() }
 // every segment it covers (including the current tail) and start a fresh
 // tail. The caller quiesces appends for the duration. On failure the
 // fold trigger is disarmed — it re-arms at the next rotation, bounding
-// retry frequency — and the failure is counted; a failure before the
-// rename leaves the log fully intact.
+// retry frequency — and the failure is counted. A failure before the
+// rename leaves the log fully intact; a failure after it (directory
+// sync, post-fold tail open) fail-stops the engine so no new append can
+// land in a segment the published snapshot covers — restart and Recover
+// to resume.
 func (s *Segmented) WriteSnapshot(state []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -347,7 +364,15 @@ func (s *Segmented) foldLocked(state []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("%w: publish snapshot: %w", ErrIO, err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDirHook(s.dir); err != nil {
+		// The snapshot is renamed into place but its durability is
+		// unknown. Staying ready would keep appending to a tail the
+		// published snapshot already claims to cover — the next Recover
+		// would prune those acknowledged records. Fail stop instead:
+		// appends are refused, every segment stays on disk, and Recover
+		// resolves the fold either way without losing a record.
+		s.tail.Close()
+		s.tail, s.ready = nil, false
 		return err
 	}
 	// The snapshot is durable: everything below is cleanup that recovery
@@ -371,6 +396,7 @@ func (s *Segmented) foldLocked(state []byte) error {
 		return fmt.Errorf("%w: open post-fold tail: %w", ErrIO, err)
 	}
 	s.tail, s.tailSize, s.pending = f, 0, 0
+	s.sealedBytes = 0
 	s.liveSegs = []int{s.tailSeq}
 	s.sealed = 0
 	return nil
@@ -387,14 +413,14 @@ func (s *Segmented) SetSyncEvery(n int) {
 func (s *Segmented) Stats() Stats {
 	s.mu.Lock()
 	segs := len(s.liveSegs)
-	size := s.tailSize
+	size := s.sealedBytes + s.tailSize // everything the next restart replays
 	s.mu.Unlock()
 	syncs := s.syncs.Load()
 	st := Stats{
 		Engine:               EngineSegmented,
 		Shards:               1,
 		Segments:             segs,
-		LogBytes:             size, // tail only; sealed segments are awaiting a fold
+		LogBytes:             size,
 		Syncs:                syncs,
 		ShardSyncs:           []uint64{syncs},
 		Snapshots:            s.snapshots.Load(),

@@ -34,8 +34,10 @@ func (c ShardedConfig) withDefaults() ShardedConfig {
 // task — and one task always lands in one shard, in order.
 //
 // Shrinking Shards across restarts is safe: orphan shard files beyond
-// the configured count are still replayed (then left untouched), they
-// just receive no new writes.
+// the configured count are replayed before the configured shards (then
+// left untouched). They receive no new writes after the shrink, so their
+// records are strictly older than any record for the same task in its
+// new home shard — replaying them first preserves per-task order.
 type Sharded struct {
 	dir    string
 	cfg    ShardedConfig
@@ -68,10 +70,13 @@ func OpenSharded(dir string, cfg ShardedConfig) (*Sharded, error) {
 func shardName(i int) string { return fmt.Sprintf("shard-%02d.log", i) }
 
 // Recover implements Store: replay meta.log first (registry state before
-// the uploads that reference it), then every shard file in the directory
-// ascending — including orphans from a larger previous shard count. All
-// files are torn-tail tolerant: a crash can land mid-append on any of
-// them, since each has its own commit boundary.
+// the uploads that reference it), then orphan shard files from a larger
+// previous shard count, then the configured shards. Orphans go first
+// because they are frozen — nothing writes to them after a shrink — so
+// every orphan record predates any record for the same task in its new
+// home shard; replaying them last would invert per-task arrival order.
+// All files are torn-tail tolerant: a crash can land mid-append on any
+// of them, since each has its own commit boundary.
 func (s *Sharded) Recover(_ func([]byte) error, record func([]byte) error) error {
 	start := time.Now()
 	n, size, err := replayFile(s.meta.path, true, record)
@@ -90,11 +95,15 @@ func (s *Sharded) Recover(_ func([]byte) error, record func([]byte) error) error
 	if err != nil {
 		return fmt.Errorf("%w: read dir %s: %w", ErrIO, s.dir, err)
 	}
-	var orphans []string
 	for _, e := range entries {
-		var idx int
-		if _, serr := fmt.Sscanf(e.Name(), "shard-%d.log", &idx); serr == nil && idx >= len(s.shards) {
-			orphans = append(orphans, e.Name())
+		// Strict parse: operator leftovers like shard-02.log.bak must not
+		// replay as live history.
+		if idx := parseSeq(e.Name(), "shard-", ".log"); idx >= len(s.shards) {
+			rn, _, err := replayFile(filepath.Join(s.dir, e.Name()), true, record)
+			if err != nil {
+				return err
+			}
+			n += rn
 		}
 	}
 	for i := range s.shards {
@@ -111,13 +120,6 @@ func (s *Sharded) Recover(_ func([]byte) error, record func([]byte) error) error
 		if err != nil {
 			return err
 		}
-	}
-	for _, name := range orphans {
-		rn, _, err := replayFile(filepath.Join(s.dir, name), true, record)
-		if err != nil {
-			return err
-		}
-		n += rn
 	}
 	s.replay.duration.Store(int64(time.Since(start)))
 	s.replay.records.Store(n)

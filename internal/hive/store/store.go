@@ -98,9 +98,12 @@ type Store interface {
 	// WriteSnapshot folds state — the owner's complete in-memory image,
 	// covering every record appended so far — into an immutable snapshot
 	// and retires the log files it supersedes. The caller must quiesce
-	// appends for the duration (the Hive holds all commit locks). A
-	// failed fold leaves the log intact and is retried at a later due
-	// point; failures are counted in Stats.
+	// appends for the duration (the Hive holds all commit locks).
+	// Failures are counted in Stats. A fold that fails before the
+	// snapshot is published leaves the log intact and is retried at a
+	// later due point; one that fails after publication fail-stops the
+	// engine (appends return ErrIO) so no acknowledged record can land in
+	// a file the snapshot already covers — restart to Recover.
 	WriteSnapshot(state []byte) error
 	// SetSyncEvery tunes the group-commit durability cadence on every
 	// file of the engine: fsync once per n commit boundaries (default 1);
@@ -352,6 +355,10 @@ func replayFile(path string, tolerant bool, record func([]byte) error) (n, size 
 	}
 	return n, off, nil
 }
+
+// syncDirHook is the directory-sync entry point, a variable so tests can
+// inject failures into the post-rename fold window.
+var syncDirHook = syncDir
 
 // syncDir fsyncs a directory so renames and creates within it are
 // durable.

@@ -200,6 +200,7 @@ func TestSegmentedRotationAndFold(t *testing.T) {
 
 	// Each record is ~10 bytes; 32-byte segments seal after a few.
 	n := 0
+	var written int64
 	for !s.SnapshotDue() {
 		n++
 		if n > 1000 {
@@ -208,9 +209,15 @@ func TestSegmentedRotationAndFold(t *testing.T) {
 		if err := s.AppendBatch(0, [][]byte{rec(n)}); err != nil {
 			t.Fatal(err)
 		}
+		written += int64(len(rec(n))) + 1
 	}
 	if segs := s.Stats().Segments; segs < 3 {
 		t.Errorf("segments before fold = %d, want >= 3", segs)
+	}
+	// LogBytes is the restart-replay volume: sealed segments count, not
+	// just the current tail.
+	if got := s.Stats().LogBytes; got != written {
+		t.Errorf("pre-fold LogBytes = %d, want %d (all live segments)", got, written)
 	}
 
 	state := []byte(`{"upTo":` + fmt.Sprint(n) + `}`)
@@ -289,6 +296,64 @@ func TestSegmentedRecoverPrunesCoveredSegments(t *testing.T) {
 	}
 }
 
+// TestSegmentedFoldFailStopAfterPublish: if the fold fails AFTER the
+// snapshot rename published it (directory sync error), the engine must
+// stop accepting appends — the published snapshot claims to cover the
+// current tail, so anything appended there would be pruned by the next
+// Recover. Fail-stop plus recovery must lose nothing.
+func TestSegmentedFoldFailStopAfterPublish(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, SegmentedConfig{SegmentBytes: 32, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, s)
+	n := 0
+	for !s.SnapshotDue() {
+		n++
+		if n > 1000 {
+			t.Fatal("snapshot never became due")
+		}
+		if err := s.AppendBatch(0, [][]byte{rec(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	syncDirHook = func(string) error { return fmt.Errorf("%w: injected dir sync failure", ErrIO) }
+	defer func() { syncDirHook = syncDir }()
+	state := []byte(`{"upTo":` + fmt.Sprint(n) + `}`)
+	if err := s.WriteSnapshot(state); err == nil {
+		t.Fatal("WriteSnapshot succeeded despite directory sync failure")
+	}
+	if st := s.Stats(); st.SnapshotFailures != 1 {
+		t.Errorf("snapshot failures = %d, want 1", st.SnapshotFailures)
+	}
+	if err := s.AppendBatch(0, [][]byte{rec(n + 1)}); err == nil {
+		t.Fatal("append accepted after a failed fold published a covering snapshot")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery resolves the interrupted fold: the published snapshot wins,
+	// covered segments are pruned unreplayed, and appends work again.
+	s2, err := OpenSegmented(dir, SegmentedConfig{SegmentBytes: 32, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap, recs := collect(t, s2)
+	if string(snap) != string(state) {
+		t.Errorf("recovered snapshot = %q, want %q", snap, state)
+	}
+	if len(recs) != 0 {
+		t.Errorf("replayed %d records, want 0 (all history is in the snapshot)", len(recs))
+	}
+	if err := s2.AppendBatch(0, [][]byte{rec(n + 2)}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
 // TestShardedIndependentCommits: uploads for tasks on different shards
 // land in different files with separate fsync counters — the
 // no-serialisation proof — and replay together with meta records.
@@ -349,7 +414,10 @@ func TestShardedIndependentCommits(t *testing.T) {
 }
 
 // TestShardedShrinkReplaysOrphans: shrinking the shard count across
-// restarts still replays the now-orphaned higher shard files.
+// restarts still replays the now-orphaned higher shard files, and
+// replays them BEFORE the configured shards — orphan records are
+// strictly older than any same-task record in its new home shard, so
+// orphans-first is what preserves per-task arrival order.
 func TestShardedShrinkReplaysOrphans(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenSharded(dir, ShardedConfig{Shards: 4})
@@ -365,14 +433,36 @@ func TestShardedShrinkReplaysOrphans(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// An operator's backup copy in the store dir must not replay as live
+	// history — only exact shard-N.log names count.
+	if err := os.WriteFile(filepath.Join(dir, "shard-03.log.bak"), append(rec(99), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	s2, err := OpenSharded(dir, ShardedConfig{Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s2.Close()
 	_, recs := collect(t, s2)
-	if len(recs) != 4 {
-		t.Errorf("replayed %d records after shrink, want 4 (orphans included)", len(recs))
+	if got, want := seqs(recs), []int{2, 3, 0, 1}; !equalInts(got, want) {
+		t.Errorf("replay after shrink = %v, want %v (orphans first, backup file ignored)", got, want)
+	}
+	// The task whose history lives in orphan shard-03 keeps uploading; its
+	// new records land in its new home shard.
+	if err := s2.AppendBatch(1, [][]byte{rec(31)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, err := OpenSharded(dir, ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	_, recs = collect(t, s3)
+	if got, want := seqs(recs), []int{2, 3, 0, 1, 31}; !equalInts(got, want) {
+		t.Errorf("replay after shrink+append = %v, want %v (orphan record 3 must precede its task's newer record 31)", got, want)
 	}
 }
