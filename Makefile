@@ -30,7 +30,8 @@ lint:
 # packages.
 docs:
 	$(GO) run ./cmd/apisenselint ./internal/hive ./internal/hive/store \
-		./internal/ingest ./internal/core ./internal/obs ./internal/apierr
+		./internal/ingest ./internal/core ./internal/obs ./internal/apierr \
+		./internal/otrace
 
 test:
 	$(GO) test ./...

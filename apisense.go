@@ -51,6 +51,7 @@ import (
 	"apisense/internal/metrics"
 	"apisense/internal/mobgen"
 	"apisense/internal/obs"
+	"apisense/internal/otrace"
 	"apisense/internal/poi"
 	"apisense/internal/script"
 	"apisense/internal/secagg"
@@ -534,6 +535,53 @@ func NewIngestMetrics(reg *MetricsRegistry) *IngestMetrics { return ingest.NewMe
 // WithMetrics serves reg at the Hive server's GET /metrics and instruments
 // every route with request, latency and error-code series.
 var WithMetrics = hive.WithMetrics
+
+// RegisterRuntimeMetrics adds the Go runtime gauges (goroutines, heap,
+// GC pause total, GOMAXPROCS) to reg. Call at most once per registry.
+var RegisterRuntimeMetrics = obs.RegisterRuntime
+
+// RegisterBuildInfo adds the constant apisense_build_info gauge to reg.
+var RegisterBuildInfo = obs.RegisterBuildInfo
+
+// ---- tracing ----
+
+// Tracing types. Build one Tracer per process (NewTracer), hand it to the
+// subsystems that accept one — UploaderConfig.Tracer, IngestConfig.Tracer,
+// PrivacyConfig.Tracer, the Hive server via WithTracer — and read the
+// collected traces back from its SpanStore or over GET /debug/traces.
+// Every hook is nil-safe and deterministic: reports and releases are
+// byte-identical with tracing on or off (see internal/otrace).
+type (
+	// Tracer records spans into a bounded in-memory store.
+	Tracer = otrace.Tracer
+	// TracerConfig tunes a Tracer (clock, ID source, span store).
+	TracerConfig = otrace.Config
+	// Span is one finished operation of a trace.
+	Span = otrace.Span
+	// SpanStore is the bounded per-trace span buffer behind a Tracer.
+	SpanStore = otrace.SpanStore
+	// SpanContext is the propagated trace identity (W3C traceparent).
+	SpanContext = otrace.SpanContext
+)
+
+// NewTracer builds a tracer; the zero config uses the wall clock,
+// crypto/rand IDs and a store bounded at otrace.DefaultMaxTraces.
+func NewTracer(cfg TracerConfig) *Tracer { return otrace.New(cfg) }
+
+// NewSpanStore builds a bounded span store for TracerConfig.Store.
+var NewSpanStore = otrace.NewSpanStore
+
+// WithTracer records a server span per Hive route and serves the trace
+// store at GET /debug/traces.
+var WithTracer = hive.WithTracer
+
+// WithLogger emits one trace-correlated structured log record per Hive
+// request and error response.
+var WithLogger = hive.WithLogger
+
+// NewTraceLogHandler wraps any slog.Handler so records logged with a
+// traced context carry trace_id/span_id attributes.
+var NewTraceLogHandler = otrace.NewLogHandler
 
 // ---- coded errors ----
 

@@ -73,7 +73,8 @@ var suite = []scoped{
 	// (the storage engines operators pick with -store). `make docs` runs
 	// exactly this scope.
 	{doccomment.Analyzer, under("apisense/internal/hive", "apisense/internal/ingest",
-		"apisense/internal/core", "apisense/internal/obs", "apisense/internal/apierr")},
+		"apisense/internal/core", "apisense/internal/obs", "apisense/internal/apierr",
+		"apisense/internal/otrace")},
 }
 
 // under matches an import path equal to or below any of the given roots.

@@ -101,6 +101,8 @@ func run(args []string) error {
 
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		obs.RegisterBuildInfo(reg)
 		reg.GaugeFunc("devicesim_devices",
 			"Simulated devices registered with the Hive.",
 			func() float64 { return float64(len(devices)) })

@@ -19,14 +19,23 @@
 // With -metrics the server exposes GET /metrics in Prometheus text
 // format: queue depth and drain latency, store fsyncs (total and
 // per-shard), segment count, snapshot age, replay cost, per-task upload
-// counters, per-route HTTP request/latency/error-code series — the full
-// catalogue is in docs/OPERATIONS.md.
+// counters, per-route HTTP request/latency/error-code series, Go runtime
+// gauges and build info — the full catalogue is in docs/OPERATIONS.md.
+//
+// With -traces the server records end-to-end request traces (device
+// flush → HTTP route → ingest enqueue → group commit → store append) in
+// a bounded in-memory store, served at GET /debug/traces; -log-requests
+// adds one structured JSON log line per request, trace-correlated via
+// trace_id/span_id. Liveness and readiness live at GET /healthz and
+// GET /readyz. -debug-addr exposes net/http/pprof on a separate,
+// loopback-only listener that never shares the public mux.
 //
 // Usage:
 //
 //	hive [-addr :8080] [-journal hive.journal] [-store journal|segmented|sharded]
 //	     [-segment-mb 4] [-snapshot-every 4] [-store-shards 8] [-sync-every 1]
 //	     [-queue 256] [-batch 256] [-drain-workers 1] [-metrics]
+//	     [-traces 512] [-log-requests info] [-debug-addr 127.0.0.1:6060]
 package main
 
 import (
@@ -35,7 +44,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +56,7 @@ import (
 	"apisense/internal/hive/store"
 	"apisense/internal/ingest"
 	"apisense/internal/obs"
+	"apisense/internal/otrace"
 )
 
 func main() {
@@ -88,6 +100,9 @@ func run(args []string) error {
 	drainWorkers := fs.Int("drain-workers", 1, "ingest drain worker pool size (with -store=sharded, more workers let distinct task shards commit in parallel)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	metrics := fs.Bool("metrics", false, "expose Prometheus text metrics at GET /metrics")
+	traces := fs.Int("traces", 512, "bound of the in-memory trace store served at GET /debug/traces (0 = tracing off)")
+	logRequests := fs.String("log-requests", "", "emit one structured JSON log line per request at this minimum level (debug, info, warn or error; empty = off)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off; never expose publicly)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +110,13 @@ func run(args []string) error {
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		obs.RegisterBuildInfo(reg)
+	}
+
+	var tracer *otrace.Tracer
+	if *traces > 0 {
+		tracer = otrace.New(otrace.Config{Store: otrace.NewSpanStore(*traces)})
 	}
 
 	var (
@@ -127,6 +149,7 @@ func run(args []string) error {
 			MaxBatch: *maxBatch,
 			Workers:  *drainWorkers,
 			Metrics:  ingest.NewMetrics(reg), // nil reg = disabled
+			Tracer:   tracer,                 // nil = disabled
 		})
 		opts = append(opts, hive.WithIngestQueue(q))
 		log.Printf("ingest queue: %d batch slots, %d drain workers, group commits of <= %d uploads",
@@ -138,11 +161,43 @@ func run(args []string) error {
 		opts = append(opts, hive.WithMetrics(hive.NewMetrics(reg)))
 		log.Printf("metrics: serving Prometheus text format at GET /metrics")
 	}
+	if tracer != nil {
+		opts = append(opts, hive.WithTracer(tracer))
+		log.Printf("tracing: %d most recent traces at GET /debug/traces", *traces)
+	}
+	if *logRequests != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logRequests)); err != nil {
+			return fmt.Errorf("bad -log-requests level %q: %w", *logRequests, err)
+		}
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+		opts = append(opts, hive.WithLogger(logger))
+	}
 
+	hs := hive.NewServer(h, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           hive.NewServer(h, opts...),
+		Handler:           hs,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener: the profiling surface
+		// must never ride on the public API address.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("pprof debug server on %s (keep it loopback-only)", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof debug server: %v", err)
+			}
+		}()
+		defer dsrv.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -171,6 +226,7 @@ func run(args []string) error {
 	// SIGINT/SIGTERM during a hung drain kills the process instead of
 	// being swallowed.
 	stop()
+	hs.SetDraining(true) // flip /readyz before the listener stops accepting
 	log.Printf("shutting down (grace %s; press again to force quit)...", *grace)
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()

@@ -66,6 +66,7 @@ import (
 	"apisense/internal/geo"
 	"apisense/internal/lppm"
 	"apisense/internal/metrics"
+	"apisense/internal/otrace"
 	"apisense/internal/poi"
 	"apisense/internal/trace"
 )
@@ -151,6 +152,14 @@ type Config struct {
 	// allocation. Observations never change results: reports stay
 	// byte-identical at any parallelism whether metrics are on or off.
 	Metrics *EngineMetrics
+	// Tracer, when non-nil, records a span tree per publication run:
+	// partitioning, per-shard selection, per-strategy evaluation with the
+	// POI-recovery attack, cache and pruning short-circuits, and the
+	// final merge (see internal/otrace). nil — the zero value — disables
+	// tracing with no clock reads. Like Metrics, tracing never changes
+	// results: reports and releases stay byte-identical at any
+	// parallelism whether tracing is on or off.
+	Tracer *otrace.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -9,6 +9,7 @@ import (
 	"apisense/internal/geo"
 	"apisense/internal/lppm"
 	"apisense/internal/metrics"
+	"apisense/internal/otrace"
 	"apisense/internal/par"
 	"apisense/internal/trace"
 )
@@ -168,17 +169,19 @@ func (w *winner) offer(i int, ev Evaluation, prot *trace.Dataset) {
 // strategy is disqualified again without running the POI-recovery attack.
 // Pruned evaluations carry only the proxies and can never win; a full
 // evaluation that fails the floor refreshes the record.
-func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lppm.Mechanism, parallelism int, pruneKey string) (Evaluation, *trace.Dataset, error) {
+func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lppm.Mechanism, parallelism int, pruneKey string) (ev Evaluation, prot *trace.Dataset, err error) {
 	t0 := m.cfg.Metrics.start()
 	defer m.cfg.Metrics.observeStrategy(t0)
-	prot, err := lppm.ProtectDatasetContext(ctx, s, ec.raw, parallelism)
+	ctx, sp := m.cfg.Tracer.Start(ctx, "core.strategy", otrace.String("strategy", s.Name()))
+	defer func() { endSpan(sp, err) }()
+	prot, err = lppm.ProtectDatasetContext(ctx, s, ec.raw, parallelism)
 	if err != nil {
 		return Evaluation{}, nil, fmt.Errorf("core: strategy %s: %w", s.Name(), err)
 	}
 	if err := ctx.Err(); err != nil {
 		return Evaluation{}, nil, err
 	}
-	ev := Evaluation{
+	ev = Evaluation{
 		Strategy: s.Name(),
 		Released: prot.Len(),
 		Coverage: metrics.Coverage(ec.raw, prot, ec.grid),
@@ -190,9 +193,14 @@ func (m *Middleware) evaluateStrategy(ctx context.Context, ec *evalContext, s lp
 			"failed privacy floor at released=%d coverage=%.4f; now released=%d coverage=%.4f",
 			rec.Released, rec.Coverage, ev.Released, ev.Coverage)
 		m.cache.AddPruned(1)
+		sp.SetAttr(otrace.Bool("pruned", true))
 		return ev, nil, nil
 	}
+	// The attack is the expensive half of an evaluation; its own span makes
+	// the prune/cache savings visible on the timeline.
+	_, asp := m.cfg.Tracer.Start(ctx, "core.attack")
 	ev.Privacy = m.recovery.Run(ec.truth, prot)
+	asp.End()
 	ev.MeetsFloor = ev.Privacy.F1() <= m.cfg.MaxPOIExposure
 	ev.HotspotOverlap = metrics.TopKOverlap(ec.rawDensity, metrics.UserDensity(prot, ec.grid), m.cfg.TopK)
 	ev.TrafficUtility = ec.trafficUtility(prot)
@@ -263,9 +271,11 @@ func (m *Middleware) evaluateAll(ctx context.Context, raw *trace.Dataset, track 
 // on the concurrent evaluation engine. The report is byte-identical for any
 // Config.Parallelism; evaluations appear in portfolio order. The run is
 // abandoned promptly when ctx is cancelled.
-func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) ([]Evaluation, error) {
+func (m *Middleware) EvaluateContext(ctx context.Context, raw *trace.Dataset) (evals []Evaluation, err error) {
 	t0 := m.cfg.Metrics.start()
 	defer m.cfg.Metrics.observeEvaluate(t0)
+	ctx, sp := m.cfg.Tracer.Start(ctx, "core.evaluate")
+	defer func() { endSpan(sp, err) }()
 	// No selection caching and no pruning: Evaluate is a pure scorecard and
 	// must always report the full attack for every strategy. It still
 	// benefits from the reference-POI and attacker-extraction memoization.
@@ -285,15 +295,21 @@ func (m *Middleware) Evaluate(raw *trace.Dataset) ([]Evaluation, error) {
 // dataset) from the evaluation cache when the dataset content and the
 // configuration fingerprint match a prior run. Cache hits bypass pruning
 // entirely, so unchanged data always reports the full cold scorecard.
-func (m *Middleware) selectStrategies(ctx context.Context, raw *trace.Dataset, pruneKey string, budget int) ([]Evaluation, int, *trace.Dataset, error) {
+func (m *Middleware) selectStrategies(ctx context.Context, raw *trace.Dataset, pruneKey string, budget int) (evals []Evaluation, winIdx int, prot *trace.Dataset, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, -1, nil, err
 	}
+	ctx, sp := m.cfg.Tracer.Start(ctx, "core.select")
+	defer func() { endSpan(sp, err) }()
 	if cs, ok := m.loadSelection(raw); ok {
+		sp.SetAttr(otrace.Bool("cache_hit", true))
 		return cs.evals, cs.winIdx, cs.prot, nil
 	}
+	if m.cache != nil {
+		sp.SetAttr(otrace.Bool("cache_hit", false))
+	}
 	track := &winner{idx: -1}
-	evals, err := m.evaluateAll(ctx, raw, track, budget, pruneKey)
+	evals, err = m.evaluateAll(ctx, raw, track, budget, pruneKey)
 	if err != nil {
 		return nil, -1, nil, err
 	}
@@ -308,9 +324,11 @@ func (m *Middleware) selectStrategies(ctx context.Context, raw *trace.Dataset, p
 // mechanism is not run a second time. When no strategy meets the floor, it
 // returns ErrNoStrategy and a selection whose Chosen field is empty. The
 // run is abandoned promptly when ctx is cancelled.
-func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (*trace.Dataset, *Selection, error) {
+func (m *Middleware) PublishContext(ctx context.Context, raw *trace.Dataset) (_ *trace.Dataset, _ *Selection, err error) {
 	t0 := m.cfg.Metrics.start()
 	defer m.cfg.Metrics.observePublish(t0)
+	ctx, sp := m.cfg.Tracer.Start(ctx, "core.publish")
+	defer func() { endSpan(sp, err) }()
 	evals, winIdx, prot, err := m.selectStrategies(ctx, raw, monolithicPruneKey, m.cfg.Parallelism)
 	if err != nil {
 		return nil, nil, err

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"apisense/internal/geo"
+	"apisense/internal/otrace"
 	"apisense/internal/par"
 	"apisense/internal/trace"
 )
@@ -290,9 +291,13 @@ type shardResult struct {
 // Selection is cached per shard-content hash (see selectStrategies), so an
 // incremental re-publication only evaluates the shards whose data changed;
 // the shard key scopes the pruning records.
-func (m *Middleware) publishShard(ctx context.Context, sh Shard, budget int) (shardResult, error) {
+func (m *Middleware) publishShard(ctx context.Context, sh Shard, budget int) (_ shardResult, err error) {
 	t0 := m.cfg.Metrics.start()
 	defer m.cfg.Metrics.observeShard(t0)
+	// Shard keys are policy-derived (grid cells, time windows, hash
+	// buckets), never user identifiers, so they are telemetry-safe.
+	ctx, sp := m.cfg.Tracer.Start(ctx, "core.shard", otrace.String("key", sh.Key))
+	defer func() { endSpan(sp, err) }()
 	evals, winIdx, prot, err := m.selectStrategies(ctx, sh.Data, sh.Key, budget)
 	if err != nil {
 		return shardResult{}, fmt.Errorf("core: shard %s: %w", sh.Key, err)
@@ -320,16 +325,22 @@ func (m *Middleware) publishShard(ctx context.Context, sh Shard, budget int) (sh
 // so pseudonyms are consistent across shards. The report and release are
 // byte-identical for any Config.Parallelism. The run is abandoned promptly
 // when ctx is cancelled.
-func (m *Middleware) PublishShardedContext(ctx context.Context, raw *trace.Dataset, by ShardBy) (*trace.Dataset, *ShardedSelection, error) {
+func (m *Middleware) PublishShardedContext(ctx context.Context, raw *trace.Dataset, by ShardBy) (_ *trace.Dataset, _ *ShardedSelection, err error) {
 	t0 := m.cfg.Metrics.start()
 	defer m.cfg.Metrics.observePublish(t0)
 	if by == nil {
 		return nil, nil, fmt.Errorf("core: a shard policy is required (use PublishContext for monolithic releases)")
 	}
-	shards, err := Partition(raw, by)
-	if err != nil {
-		return nil, nil, err
+	ctx, sp := m.cfg.Tracer.Start(ctx, "core.publish_sharded", otrace.String("policy", by.Name()))
+	defer func() { endSpan(sp, err) }()
+	_, psp := m.cfg.Tracer.Start(ctx, "core.partition")
+	shards, perr := Partition(raw, by)
+	if perr != nil {
+		endSpan(psp, perr)
+		return nil, nil, perr
 	}
+	psp.SetAttr(otrace.Int("shards", len(shards)))
+	psp.End()
 	if len(shards) == 0 {
 		return nil, nil, fmt.Errorf("core: policy %s produced no shards", by.Name())
 	}
@@ -354,6 +365,7 @@ func (m *Middleware) PublishShardedContext(ctx context.Context, raw *trace.Datas
 		return nil, nil, err
 	}
 
+	_, msp := m.cfg.Tracer.Start(ctx, "core.merge")
 	sel := &ShardedSelection{
 		Objective: m.cfg.Objective,
 		Floor:     m.cfg.MaxPOIExposure,
@@ -398,6 +410,8 @@ func (m *Middleware) PublishShardedContext(ctx context.Context, raw *trace.Datas
 		sel.HotspotOverlap = wOverlap / wSum
 		sel.TrafficUtility = wTraffic / wSum
 	}
+	msp.SetAttr(otrace.Int("released", sel.Released), otrace.Int("withheld", sel.Withheld))
+	msp.End()
 	if sel.Released == 0 {
 		return nil, sel, ErrNoStrategy
 	}

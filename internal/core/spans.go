@@ -1,0 +1,25 @@
+package core
+
+import (
+	"apisense/internal/apierr"
+	"apisense/internal/otrace"
+)
+
+// endSpan closes a publication-engine span, stamping the outcome first:
+// the stable apierr code when err carries one, the raw error text
+// otherwise (engine errors are static format strings — dataset content
+// never leaks into span attributes). Nil-safe on sp, so call sites stay
+// unconditional whether tracing is configured or not.
+func endSpan(sp *otrace.ActiveSpan, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		code := apierr.Code(err)
+		if code == "" {
+			code = err.Error()
+		}
+		sp.SetErr(code)
+	}
+	sp.End()
+}

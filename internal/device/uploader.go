@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"time"
 
+	"apisense/internal/apierr"
+	"apisense/internal/otrace"
 	"apisense/internal/transport"
 )
 
@@ -34,6 +36,11 @@ type UploaderConfig struct {
 	// Sleep is the wait primitive, injectable in tests. The default
 	// honours ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Tracer, when non-nil, records one device.flush span per Flush.
+	// Independent of the tracer, every flush stamps a W3C traceparent
+	// header derived from Seed — the same identity across 429 retries —
+	// so the server's spans for all attempts join one trace.
+	Tracer *otrace.Tracer
 }
 
 func (c UploaderConfig) withDefaults() UploaderConfig {
@@ -82,9 +89,13 @@ func (c UploaderConfig) withDefaults() UploaderConfig {
 // Not safe for concurrent use; give each uploading goroutine its own
 // BatchUploader.
 type BatchUploader struct {
-	client  *transport.Client
-	cfg     UploaderConfig
-	rng     *rand.Rand
+	client *transport.Client
+	cfg    UploaderConfig
+	rng    *rand.Rand
+	// idrng draws flush trace identities. Separate from rng so enabling
+	// tracing never shifts the backoff jitter sequence (simulations stay
+	// bit-identical), seeded from the same deterministic Seed.
+	idrng   *rand.Rand
 	pending []transport.Upload
 	// flushAt is the buffer length that triggers the next automatic
 	// flush. Normally BatchSize; after a flush that kept transiently
@@ -105,6 +116,7 @@ func NewBatchUploader(client *transport.Client, cfg UploaderConfig) *BatchUpload
 		client:  client,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		idrng:   rand.New(rand.NewSource(cfg.Seed ^ 0x74726163)), // distinct stream for trace IDs
 		flushAt: cfg.BatchSize,
 	}
 }
@@ -140,6 +152,16 @@ func (u *BatchUploader) Flush(ctx context.Context) (*transport.UploadBatchRespon
 	if len(u.pending) == 0 {
 		return &transport.UploadBatchResponse{}, nil
 	}
+	// One trace identity per flush, drawn from the seeded id stream: the
+	// traceparent header is identical across this flush's 429 retries, so
+	// the server-side spans of every attempt land in one trace.
+	sc := otrace.NewSpanContext(u.idrng)
+	var sp *otrace.ActiveSpan
+	if u.cfg.Tracer != nil {
+		ctx, sp = u.cfg.Tracer.StartWith(ctx, "device.flush", sc, otrace.Int("uploads", len(u.pending)))
+	} else {
+		ctx = otrace.ContextWithSpanContext(ctx, sc)
+	}
 	batch := transport.UploadBatch{Uploads: u.pending}
 	var resp transport.UploadBatchResponse
 	for attempt := 0; ; attempt++ {
@@ -157,6 +179,11 @@ func (u *BatchUploader) Flush(ctx context.Context) (*transport.UploadBatchRespon
 			}
 			u.pending = kept
 			u.deferFlush()
+			if sp != nil {
+				sp.SetAttr(otrace.Int("retries", attempt),
+					otrace.Int("accepted", resp.Accepted), otrace.Int("rejected", resp.Rejected))
+				sp.End()
+			}
 			return &resp, nil
 		}
 		var status *transport.ErrStatus
@@ -165,11 +192,21 @@ func (u *BatchUploader) Flush(ctx context.Context) (*transport.UploadBatchRespon
 			// threshold past it, or every subsequent Add would re-run a
 			// full retry cycle against the saturated server.
 			u.deferFlush()
+			if sp != nil {
+				sp.SetAttr(otrace.Int("retries", attempt))
+				sp.SetErr(flushErrCode(err))
+				sp.End()
+			}
 			return nil, fmt.Errorf("device: flush %d uploads: %w", len(u.pending), err)
 		}
 		u.Retries++
 		if serr := u.cfg.Sleep(ctx, u.backoff(attempt, status.RetryAfter)); serr != nil {
 			u.deferFlush()
+			if sp != nil {
+				sp.SetAttr(otrace.Int("retries", attempt))
+				sp.SetErr(flushErrCode(serr))
+				sp.End()
+			}
 			return nil, serr
 		}
 	}
@@ -186,6 +223,19 @@ func (u *BatchUploader) deferFlush() {
 	if u.flushAt > u.cfg.MaxBuffered {
 		u.flushAt = u.cfg.MaxBuffered
 	}
+}
+
+// flushErrCode renders a flush failure as a stable span error code: the
+// apierr code when the error carries one (rehydrated from the server's
+// JSON error body), a short static label otherwise.
+func flushErrCode(err error) string {
+	if code := apierr.Code(err); code != "" {
+		return code
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "device.flush_interrupted"
+	}
+	return "device.flush_failed"
 }
 
 // maxBackoff caps one retry wait; beyond it the exponential stops growing.

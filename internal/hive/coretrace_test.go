@@ -1,0 +1,97 @@
+package hive
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"apisense/internal/core"
+	"apisense/internal/geo"
+	"apisense/internal/mobgen"
+	"apisense/internal/otrace"
+)
+
+// TestPublishShardedTraceRetrievableOverHTTP: when the publication engine
+// and the Hive share one tracer, a PublishSharded run is retrievable as a
+// single assembled trace through GET /debug/traces/{id} — partition,
+// per-shard selection, per-strategy evaluation and merge, correctly nested.
+func TestPublishShardedTraceRetrievableOverHTTP(t *testing.T) {
+	tracer := otrace.New(otrace.Config{Store: otrace.NewSpanStore(16)})
+	hs := NewServer(New(), WithTracer(tracer))
+
+	ds, _, err := mobgen.Generate(mobgen.Config{Seed: 21, Users: 6, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.Config{
+		Parallelism:  4,
+		PseudonymKey: []byte("http-trace"),
+		Tracer:       tracer,
+	}, geo.Point{Lat: 45.7640, Lon: 4.8357})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.NewShardByUser(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PublishShardedContext(context.Background(), ds, policy); err != nil {
+		t.Fatal(err)
+	}
+
+	var pubID otrace.TraceID
+	for _, s := range tracer.Store().Summaries() {
+		if s.Root == "core.publish_sharded" {
+			pubID = s.TraceID
+		}
+	}
+	if pubID.IsZero() {
+		t.Fatal("no trace rooted at core.publish_sharded in the shared store")
+	}
+
+	rec := httptest.NewRecorder()
+	hs.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+pubID.String(), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get trace: %d body %s", rec.Code, rec.Body.String())
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != pubID.String() {
+		t.Fatalf("traceId = %q, want %q", tr.TraceID, pubID)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "core.publish_sharded" {
+		t.Fatalf("want one core.publish_sharded root, got %+v", tr.Spans)
+	}
+
+	// Walk the served tree: the full pipeline must be nested under the root.
+	counts := map[string]int{}
+	var walk func(n *otrace.SpanNode)
+	walk = func(n *otrace.SpanNode) {
+		counts[n.Span.Name]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Spans[0])
+	if counts["core.partition"] != 1 || counts["core.merge"] != 1 {
+		t.Errorf("partition/merge spans = %d/%d, want 1/1",
+			counts["core.partition"], counts["core.merge"])
+	}
+	if counts["core.shard"] < 2 {
+		t.Errorf("%d core.shard spans, want >= 2", counts["core.shard"])
+	}
+	if counts["core.select"] != counts["core.shard"] {
+		t.Errorf("%d core.select spans for %d shards", counts["core.select"], counts["core.shard"])
+	}
+	if want := counts["core.shard"] * len(m.Strategies()); counts["core.strategy"] != want {
+		t.Errorf("%d core.strategy spans, want %d", counts["core.strategy"], want)
+	}
+	if counts["core.attack"] != counts["core.strategy"] {
+		t.Errorf("%d core.attack spans for %d strategy evaluations (cold run: one attack each)",
+			counts["core.attack"], counts["core.strategy"])
+	}
+}

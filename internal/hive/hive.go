@@ -12,6 +12,7 @@
 package hive
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"apisense/internal/geo"
 	"apisense/internal/hive/store"
 	"apisense/internal/ingest"
+	"apisense/internal/otrace"
 	"apisense/internal/transport"
 )
 
@@ -98,6 +100,11 @@ type Hive struct {
 	// metrics, when bound (see Metrics.BindHive), counts admitted uploads
 	// per task. Atomic so late binding never races SubmitBatch.
 	metrics atomic.Pointer[Metrics]
+
+	// tracer, when set (see SetTracer), records store.append spans per
+	// commit shard and store.snapshot_fold spans. Atomic so late binding
+	// never races SubmitBatch.
+	tracer atomic.Pointer[otrace.Tracer]
 }
 
 // New creates an empty Hive with the default per-task upload cap.
@@ -266,6 +273,15 @@ func (h *Hive) TasksFor(deviceID string) ([]transport.TaskSpec, error) {
 	return out, nil
 }
 
+// SetTracer makes subsequent commits record their storage work as spans
+// of t: one store.append span per touched commit shard (attrs: shard,
+// records; Err carries the apierr code on failure) parented on the
+// caller's span, plus store.snapshot_fold spans when the engine folds.
+// Safe to call concurrently with traffic; nil detaches.
+func (h *Hive) SetTracer(t *otrace.Tracer) {
+	h.tracer.Store(t)
+}
+
 // SubmitUpload ingests a dataset batch from a device. It is a thin wrapper
 // over a batch of one, so it shares the validation and group-commit path of
 // SubmitBatch.
@@ -294,12 +310,24 @@ func (h *Hive) SubmitUpload(u transport.Upload) error {
 // briefly observe admitted uploads whose sync is still in flight; the
 // caller is only acknowledged after it.
 func (h *Hive) SubmitBatch(ups []transport.Upload) []error {
-	errs := h.submitBatch(ups)
+	//lint:allow ctxflow convenience wrapper, SubmitBatchContext is the traced form
+	return h.SubmitBatchContext(context.Background(), ups)
+}
+
+// SubmitBatchContext is SubmitBatch with a caller context: when a tracer
+// is attached (SetTracer) each touched shard's group commit is recorded
+// as a store.append child span of the span carried by ctx — which is how
+// an upload's trace extends through the ingest queue down to its fsync.
+// Admission semantics are identical to SubmitBatch; the commit itself
+// never aborts on ctx (acknowledged durability is all-or-nothing per
+// shard).
+func (h *Hive) SubmitBatchContext(ctx context.Context, ups []transport.Upload) []error {
+	errs := h.submitBatch(ctx, ups)
 	h.maybeSnapshot()
 	return errs
 }
 
-func (h *Hive) submitBatch(ups []transport.Upload) []error {
+func (h *Hive) submitBatch(ctx context.Context, ups []transport.Upload) []error {
 	errs := make([]error, len(ups))
 	if len(ups) == 0 {
 		return errs
@@ -356,10 +384,16 @@ func (h *Hive) submitBatch(ups []transport.Upload) []error {
 			}
 			byShard[si] = append(byShard[si], i)
 		}
+		tr := h.tracer.Load()
 		for _, si := range shards {
 			idxs := byShard[si]
 			if len(idxs) == 0 {
 				continue
+			}
+			var sp *otrace.ActiveSpan
+			if tr != nil {
+				_, sp = tr.Start(ctx, "store.append",
+					otrace.Int("shard", si), otrace.Int("records", len(idxs)))
 			}
 			recs := make([][]byte, 0, len(idxs))
 			var encErr error
@@ -376,6 +410,12 @@ func (h *Hive) submitBatch(ups []transport.Upload) []error {
 				if aerr := st.AppendBatch(si, recs); aerr != nil {
 					err = fmt.Errorf("%w: %w", ErrJournalIO, aerr)
 				}
+			}
+			if sp != nil {
+				if err != nil {
+					sp.SetErr(apierr.Code(err))
+				}
+				sp.End()
 			}
 			if err != nil {
 				// Roll back this shard newest-first: each admitted upload

@@ -168,15 +168,6 @@ func (m *Metrics) BindEvalCache(c evalcache.Cache) {
 		func() float64 { return float64(c.Stats().Pruned) })
 }
 
-// start samples the wall clock for observeRequest; zero time (no clock
-// read) on a nil receiver.
-func (m *Metrics) start() time.Time {
-	if m == nil {
-		return time.Time{}
-	}
-	return time.Now()
-}
-
 // observeRequest records one served request: the route/status counter and
 // the route latency histogram. Nil-safe.
 func (m *Metrics) observeRequest(route string, status int, t0 time.Time) {

@@ -183,7 +183,7 @@ func TestWriteErrorStatusMapping(t *testing.T) {
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
 			rec := httptest.NewRecorder()
-			s.writeError(rec, tc.err)
+			s.writeError(rec, httptest.NewRequest(http.MethodGet, "/test", nil), tc.err)
 			if rec.Code != tc.wantStatus {
 				t.Errorf("status = %d, want %d", rec.Code, tc.wantStatus)
 			}

@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 
 	"apisense/internal/apierr"
 	"apisense/internal/hive/store"
+	"apisense/internal/otrace"
 	"apisense/internal/transport"
 )
 
@@ -227,13 +229,31 @@ func (h *Hive) maybeSnapshot() {
 	if !s.SnapshotDue() { // another committer folded first
 		return
 	}
+	// The fold is its own trace root: it runs on whichever committer
+	// crossed the due point, amortised across many requests.
+	var sp *otrace.ActiveSpan
+	if tr := h.tracer.Load(); tr != nil {
+		//lint:allow ctxflow the fold has no single caller; the span is a fresh trace root
+		_, sp = tr.Start(context.Background(), "store.snapshot_fold")
+	}
 	state, err := h.encodeState()
 	if err != nil {
+		if sp != nil {
+			sp.SetErr(apierr.Code(err))
+			sp.End()
+		}
 		return // impossible for plain structs; the engine will re-ask
 	}
 	// A failed fold is counted by the engine and retried at the next due
 	// point; the log stays intact either way.
-	_ = s.WriteSnapshot(state)
+	werr := s.WriteSnapshot(state)
+	if sp != nil {
+		sp.SetAttr(otrace.Int("bytes", len(state)))
+		if werr != nil {
+			sp.SetErr("store.snapshot_failed")
+		}
+		sp.End()
+	}
 }
 
 // RecoverFrom replays a storage engine's persisted state (snapshot, then

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"apisense/internal/apierr"
+	"apisense/internal/otrace"
 	"apisense/internal/transport"
 )
 
@@ -54,6 +55,15 @@ type Sink interface {
 	SubmitBatch(ups []transport.Upload) []error
 }
 
+// ContextSink is an optional Sink extension. Sinks that implement it
+// receive the drain worker's commit context — which carries the group
+// commit's span identity when tracing is on — so their own spans
+// (store.append, fsync) join the trace. The Hive implements both
+// interfaces; drain workers prefer this one.
+type ContextSink interface {
+	SubmitBatchContext(ctx context.Context, ups []transport.Upload) []error
+}
+
 // Config sizes a Queue. The zero value gets sensible defaults.
 type Config struct {
 	// Capacity is the number of batch slots in the queue; a Submit that
@@ -84,6 +94,11 @@ type Config struct {
 	// bound at New). nil — the zero value — disables instrumentation
 	// with no allocation and no time sampling on the drain path.
 	Metrics *Metrics
+	// Tracer, when non-nil, records one ingest.enqueue span per Submit
+	// (child of the caller's span) and one ingest.group_commit span per
+	// drained group, linked to every enqueue span the commit amortised.
+	// nil disables tracing with one branch and no clock reads.
+	Tracer *otrace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +143,10 @@ type job struct {
 	uploads []transport.Upload
 	errs    []error       // per-upload verdicts, filled before done closes
 	done    chan struct{} // closed once the batch is committed
+	// sc is the submitter's span identity (the enqueue span when tracing
+	// is on, else whatever the caller's context carried): the group
+	// commit parents itself on the first job's trace and links the rest.
+	sc otrace.SpanContext
 }
 
 // Queue is the bounded ingestion queue. Create with New, stop with Close.
@@ -166,6 +185,15 @@ func New(sink Sink, cfg Config) *Queue {
 // RetryAfter is the backoff hint for producers rejected with ErrQueueFull.
 func (q *Queue) RetryAfter() time.Duration { return q.cfg.RetryAfter }
 
+// Closed reports whether intake has stopped (Close or CloseContext was
+// called): new Submits fail with ErrClosed. The readiness probe
+// (GET /readyz) uses it to take a draining instance out of rotation.
+func (q *Queue) Closed() bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.closed
+}
+
 // Submit enqueues a batch and blocks until its group commit, returning the
 // per-upload verdicts (nil = accepted and journaled). A full queue fails
 // immediately with ErrQueueFull — nothing was admitted, resubmit the whole
@@ -184,8 +212,21 @@ func (q *Queue) Submit(ctx context.Context, ups []transport.Upload) ([]error, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The enqueue span covers claim -> enqueue -> commit wait; it joins
+	// the caller's trace (the HTTP server span) when ctx carries one.
+	var sp *otrace.ActiveSpan
+	if q.cfg.Tracer != nil {
+		ctx, sp = q.cfg.Tracer.Start(ctx, "ingest.enqueue", otrace.Int("uploads", len(ups)))
+	}
+	reject := func(err error) ([]error, error) {
+		if sp != nil {
+			sp.SetErr(apierr.Code(err))
+			sp.End()
+		}
+		return nil, err
+	}
 	if len(ups) > q.cfg.MaxPendingUploads {
-		return nil, fmt.Errorf("%w: %d uploads, bound %d", ErrBatchTooLarge, len(ups), q.cfg.MaxPendingUploads)
+		return reject(fmt.Errorf("%w: %d uploads, bound %d", ErrBatchTooLarge, len(ups), q.cfg.MaxPendingUploads))
 	}
 	// Claim the depth before the batch becomes visible to workers: the
 	// gauge can never go negative, and the pending-upload bound holds even
@@ -193,14 +234,15 @@ func (q *Queue) Submit(ctx context.Context, ups []transport.Upload) ([]error, er
 	if depth := q.depth.Add(int64(len(ups))); depth > int64(q.cfg.MaxPendingUploads) {
 		q.depth.Add(-int64(len(ups)))
 		q.dropped.Add(uint64(len(ups)))
-		return nil, fmt.Errorf("%w: %d uploads pending, bound %d", ErrQueueFull, depth-int64(len(ups)), q.cfg.MaxPendingUploads)
+		return reject(fmt.Errorf("%w: %d uploads pending, bound %d", ErrQueueFull, depth-int64(len(ups)), q.cfg.MaxPendingUploads))
 	}
 	j := &job{uploads: ups, done: make(chan struct{})}
+	j.sc, _ = otrace.SpanContextFromContext(ctx)
 	q.mu.RLock()
 	if q.closed {
 		q.mu.RUnlock()
 		q.depth.Add(-int64(len(ups)))
-		return nil, ErrClosed
+		return reject(ErrClosed)
 	}
 	select {
 	case q.ch <- j:
@@ -209,9 +251,12 @@ func (q *Queue) Submit(ctx context.Context, ups []transport.Upload) ([]error, er
 		q.mu.RUnlock()
 		q.depth.Add(-int64(len(ups)))
 		q.dropped.Add(uint64(len(ups)))
-		return nil, fmt.Errorf("%w: %d batch slots occupied", ErrQueueFull, q.cfg.Capacity)
+		return reject(fmt.Errorf("%w: %d batch slots occupied", ErrQueueFull, q.cfg.Capacity))
 	}
 	<-j.done
+	if sp != nil {
+		sp.End()
+	}
 	return j.errs, nil
 }
 
@@ -307,15 +352,38 @@ func (q *Queue) drain() {
 }
 
 // commit admits one coalesced group through the sink and distributes the
-// per-upload verdicts back to the submitting jobs.
+// per-upload verdicts back to the submitting jobs. When tracing is on,
+// the group commit is one span parented on the first job's trace and
+// linked to every coalesced job's enqueue span — the timeline that shows
+// which batches one fsync amortised — and a ContextSink receives the
+// span's context so store spans nest under it.
 func (q *Queue) commit(jobs []*job, n int) {
 	all := make([]transport.Upload, 0, n)
 	for _, j := range jobs {
 		all = append(all, j.uploads...)
 	}
+	//lint:allow ctxflow drain workers outlive any one submitter; the commit context only carries trace identity
+	cctx := context.Background()
+	if jobs[0].sc.Valid() {
+		cctx = otrace.ContextWithSpanContext(cctx, jobs[0].sc)
+	}
+	var sp *otrace.ActiveSpan
+	if q.cfg.Tracer != nil {
+		cctx, sp = q.cfg.Tracer.Start(cctx, "ingest.group_commit",
+			otrace.Int("batches", len(jobs)), otrace.Int("uploads", n))
+		for _, j := range jobs {
+			sp.Link(j.sc)
+		}
+	}
 	start := q.cfg.Metrics.start()
-	errs := q.sink.SubmitBatch(all)
+	var errs []error
+	if cs, ok := q.sink.(ContextSink); ok {
+		errs = cs.SubmitBatchContext(cctx, all)
+	} else {
+		errs = q.sink.SubmitBatch(all)
+	}
 	q.cfg.Metrics.observeDrain(start, n)
+	sp.End()
 	if got := len(errs); got != n { // defensive: a broken sink rejects everything
 		errs = make([]error, n)
 		for i := range errs {

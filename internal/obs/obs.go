@@ -59,8 +59,9 @@ type family struct {
 	help    string
 	kind    string // "counter", "gauge" or "histogram"
 	labels  []string
-	buckets []float64      // histograms only
-	fn      func() float64 // callback families only
+	buckets []float64       // histograms only
+	fn      func() float64  // callback families only
+	sfn     func() []Sample // multi-sample callback families only
 
 	mu       sync.Mutex
 	children map[string]any // label signature -> *Counter/*Gauge/*Histogram
@@ -80,7 +81,7 @@ func (r *Registry) lookup(name, help, kind string, labels []string, buckets []fl
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
-		if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) || (f.fn == nil) != (fn == nil) {
+		if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) || (f.fn == nil) != (fn == nil) || f.sfn != nil {
 			panic(fmt.Sprintf("obs: metric %q redeclared with a different shape", name))
 		}
 		return f
@@ -219,6 +220,40 @@ func (r *Registry) registerFunc(name, help, kind string, fn func() float64) {
 		panic(fmt.Sprintf("obs: callback metric %q registered twice", name))
 	}
 	r.families[name] = &family{name: name, help: help, kind: kind, fn: fn}
+}
+
+// Sample is one series produced by a SampleFunc callback at collect
+// time: label values in the family's declared label order, plus the
+// sample value.
+type Sample struct {
+	// Values are the label values, matching the family's label names.
+	Values []string
+	// V is the sample value.
+	V float64
+}
+
+// SampleFunc registers a labelled family whose whole series set is
+// produced by fn at every collect — for families whose label
+// combinations change over time (e.g. an exemplar trace ID per stage
+// family) and would otherwise grow unbounded children. fn must return
+// one Sample per series, already deterministic in order (WriteTo emits
+// them exactly as returned); samples whose arity does not match labels
+// are skipped. Same ownership rule as CounterFunc: registering name
+// twice panics. Nil-safe on a nil registry.
+func (r *Registry) SampleFunc(name, help, kind string, labels []string, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: callback metric %q registered twice", name))
+	}
+	r.families[name] = &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		sfn:    fn,
+	}
 }
 
 // CounterFuncVec registers (or finds) a labelled counter family whose
@@ -476,6 +511,17 @@ func (f *family) write(w io.Writer) error {
 	if f.fn != nil {
 		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
 		return err
+	}
+	if f.sfn != nil {
+		for _, s := range f.sfn() {
+			if len(s.Values) != len(f.labels) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, labelSig(f.labels, s.Values)), formatValue(s.V)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	f.mu.Lock()
 	sigs := make([]string, 0, len(f.children))

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterRuntime registers the Go process-health series on reg, so a
+// /metrics scrape covers the runtime as well as the application:
+//
+//	apisense_go_goroutines             live goroutines (gauge)
+//	apisense_go_gomaxprocs             scheduler width (gauge)
+//	apisense_go_memstats_bytes{stat}   heap_alloc / heap_inuse (FuncVec gauge)
+//	apisense_go_gc_pause_seconds_total cumulative stop-the-world pause (counter)
+//
+// Values are read at collect time (runtime.ReadMemStats per memory
+// series). Call once per registry — callback series have exactly one
+// owner, so a second call panics. Nil-safe on a nil registry.
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("apisense_go_goroutines",
+		"Goroutines currently live in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("apisense_go_gomaxprocs",
+		"GOMAXPROCS of the process (scheduler parallelism).",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	mem := reg.GaugeFuncVec("apisense_go_memstats_bytes",
+		"Go runtime memory statistics, by stat (heap_alloc, heap_inuse).",
+		"stat")
+	mem.Bind(func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	}, "heap_alloc")
+	mem.Bind(func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
+	}, "heap_inuse")
+	reg.CounterFunc("apisense_go_gc_pause_seconds_total",
+		"Cumulative garbage-collector stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}
+
+// RegisterBuildInfo registers the apisense_build_info constant gauge: a
+// single always-1 series whose labels identify the running build
+// (go_version, module path) — the standard join key for dashboards that
+// annotate deploys. Call once per registry; nil-safe.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	module := "apisense"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		module = bi.Main.Path
+	}
+	reg.GaugeFuncVec("apisense_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		"go_version", "module").
+		Bind(func() float64 { return 1 }, runtime.Version(), module)
+}

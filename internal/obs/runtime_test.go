@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeExportsGoGauges(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	RegisterBuildInfo(reg)
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"apisense_go_goroutines ",
+		"apisense_go_gomaxprocs ",
+		`apisense_go_memstats_bytes{stat="heap_alloc"}`,
+		`apisense_go_memstats_bytes{stat="heap_inuse"}`,
+		"apisense_go_gc_pause_seconds_total ",
+		`apisense_build_info{go_version="`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing series %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Errorf("build info must be a constant 1 gauge:\n%s", out)
+	}
+}
+
+func TestRegisterRuntimeTwicePanics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second RegisterRuntime on one registry must panic")
+		}
+	}()
+	RegisterRuntime(reg)
+}
+
+func TestSampleFuncRendersSamplesInOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.SampleFunc("demo_series", "Demo.", "gauge", []string{"family", "id"},
+		func() []Sample {
+			return []Sample{
+				{Values: []string{"a", "1"}, V: 0.5},
+				{Values: []string{"b", "2"}, V: 1.5},
+				{Values: []string{"bogus"}, V: 9}, // wrong arity: skipped
+			}
+		})
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantA := `demo_series{family="a",id="1"} 0.5`
+	wantB := `demo_series{family="b",id="2"} 1.5`
+	ia, ib := strings.Index(out, wantA), strings.Index(out, wantB)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("samples missing or out of order (a=%d b=%d):\n%s", ia, ib, out)
+	}
+	if strings.Contains(out, "bogus") {
+		t.Fatalf("wrong-arity sample must be skipped:\n%s", out)
+	}
+}
+
+func TestSampleFuncConflictsPanic(t *testing.T) {
+	reg := NewRegistry()
+	reg.SampleFunc("dup_series", "D.", "gauge", []string{"l"}, func() []Sample { return nil })
+	for name, fn := range map[string]func(){
+		"same SampleFunc":  func() { reg.SampleFunc("dup_series", "D.", "gauge", []string{"l"}, func() []Sample { return nil }) },
+		"GaugeFunc":        func() { reg.GaugeFunc("dup_series", "D.", func() float64 { return 0 }) },
+		"CounterVec alias": func() { reg.CounterVec("dup_series", "D.", "l") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s over a SampleFunc family must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

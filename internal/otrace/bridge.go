@@ -1,0 +1,41 @@
+package otrace
+
+import (
+	"sort"
+
+	"apisense/internal/obs"
+)
+
+// BindObs registers the tracer's slowest-span table on reg as the
+// exemplar-style gauge family
+//
+//	apisense_trace_slowest_seconds{family,trace_id}
+//
+// one series per stage family (span-name prefix up to the first dot:
+// http, ingest, store, core, device) whose value is the duration of the
+// slowest finished span seen in that family and whose trace_id label is
+// the trace to pull from GET /debug/traces/{id}. The series set is
+// rendered sorted by family at collect time, so scrapes stay
+// byte-deterministic for a fixed table. Register once per registry;
+// nil-safe on both sides.
+func (t *Tracer) BindObs(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.SampleFunc("apisense_trace_slowest_seconds",
+		"Duration of the slowest finished span per stage family; the trace_id label is the exemplar trace to inspect at /debug/traces/{id}.",
+		"gauge", []string{"family", "trace_id"}, func() []obs.Sample {
+			slow := t.Slowest()
+			fams := make([]string, 0, len(slow))
+			for f := range slow {
+				fams = append(fams, f)
+			}
+			sort.Strings(fams)
+			out := make([]obs.Sample, 0, len(fams))
+			for _, f := range fams {
+				e := slow[f]
+				out = append(out, obs.Sample{Values: []string{f, e.TraceID.String()}, V: e.Seconds})
+			}
+			return out
+		})
+}

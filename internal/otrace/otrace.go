@@ -1,0 +1,222 @@
+// Package otrace is a dependency-free, deterministic-friendly tracing
+// layer for the platform: spans with W3C trace-context propagation
+// (traceparent headers), a bounded ring-buffer SpanStore with per-trace
+// assembly, a slog handler that stamps trace_id/span_id onto every log
+// record, and an obs bridge exposing the slowest trace per stage family.
+//
+// It is named otrace ("operational trace") to avoid colliding with
+// internal/trace, the mobility-trajectory package.
+//
+// Determinism: a Tracer takes an injectable clock and randomness source
+// (Config.Clock / Config.Rand), so determinism tests can drive it with
+// fixed time and seeded IDs; production defaults are time.Now and
+// crypto/rand. Tracing is strictly observational — reports, releases and
+// HTTP responses are byte-identical with tracing on or off (proven by
+// TestTracingDoesNotAffectDeterminism in internal/core).
+//
+// Nil-safety mirrors internal/obs: every method on a nil *Tracer,
+// *ActiveSpan or *SpanStore is a no-op and reads no clock, so
+// instrumented packages take an optional *Tracer in their Config and pay
+// one nil check when tracing is off.
+package otrace
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across processes: 16 bytes,
+// rendered as 32 lowercase hex digits (the W3C trace-context format).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// MarshalText renders the ID as hex, so JSON payloads (the /debug/traces
+// responses) carry the same form operators grep in logs.
+func (t TraceID) MarshalText() ([]byte, error) {
+	b := make([]byte, hex.EncodedLen(len(t)))
+	hex.Encode(b, t[:])
+	return b, nil
+}
+
+// UnmarshalText parses the 32-hex-digit form.
+func (t *TraceID) UnmarshalText(b []byte) error {
+	if hex.DecodedLen(len(b)) != len(t) {
+		return fmt.Errorf("otrace: trace ID must be %d hex digits", hex.EncodedLen(len(t)))
+	}
+	_, err := hex.Decode(t[:], b)
+	return err
+}
+
+// ParseTraceID parses the 32-hex-digit form; ok is false for any other
+// input (wrong length, non-hex, all-zero).
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if t.UnmarshalText([]byte(s)) != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// SpanID identifies one span within a trace: 8 bytes, rendered as 16
+// lowercase hex digits.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value (also used
+// as the "no parent" marker on root spans).
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// MarshalText renders the ID as hex (see TraceID.MarshalText).
+func (s SpanID) MarshalText() ([]byte, error) {
+	b := make([]byte, hex.EncodedLen(len(s)))
+	hex.Encode(b, s[:])
+	return b, nil
+}
+
+// UnmarshalText parses the 16-hex-digit form.
+func (s *SpanID) UnmarshalText(b []byte) error {
+	if hex.DecodedLen(len(b)) != len(s) {
+		return fmt.Errorf("otrace: span ID must be %d hex digits", hex.EncodedLen(len(s)))
+	}
+	_, err := hex.Decode(s[:], b)
+	return err
+}
+
+// SpanContext names one span of one trace — the minimal identity that
+// crosses process boundaries in a traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the W3C trace-context header value:
+// "00-<trace-id>-<span-id>-01" (version 00, sampled flag set).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. ok is false
+// for empty, malformed, unsupported-version or all-zero-ID inputs —
+// callers then treat the request as a new trace root.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	// 2 (version) + 1 + 32 (trace ID) + 1 + 16 (span ID) + 1 + 2 (flags)
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if sc.TraceID.UnmarshalText([]byte(h[3:35])) != nil {
+		return SpanContext{}, false
+	}
+	if sc.SpanID.UnmarshalText([]byte(h[36:52])) != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// NewSpanContext draws a fresh root span context from r. Callers that
+// own deterministic randomness — device.BatchUploader's seeded rng —
+// use it to pre-allocate the identity a flush stamps on its traceparent
+// header (the same identity across 429 retries). A nil or failing
+// reader yields an invalid (zero) context, which propagation helpers
+// ignore.
+func NewSpanContext(r io.Reader) SpanContext {
+	if r == nil {
+		return SpanContext{}
+	}
+	var sc SpanContext
+	if _, err := io.ReadFull(r, sc.TraceID[:]); err != nil {
+		return SpanContext{}
+	}
+	if _, err := io.ReadFull(r, sc.SpanID[:]); err != nil {
+		return SpanContext{}
+	}
+	// The all-zero ID means "absent" on the wire; nudge the astronomically
+	// unlikely zero draw into validity instead of silently disabling
+	// propagation for that flush.
+	if sc.TraceID.IsZero() {
+		sc.TraceID[0] = 1
+	}
+	if sc.SpanID.IsZero() {
+		sc.SpanID[0] = 1
+	}
+	return sc
+}
+
+// Attr is one telemetry-safe key/value annotation on a span. Values are
+// pre-rendered strings; like metric labels they must never carry device
+// or user identifiers (task IDs, shard indexes, counts and apierr codes
+// are the intended vocabulary).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer-valued attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Bool builds a boolean-valued attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
+// Span is one finished operation of a trace. Parent is the zero SpanID
+// on trace roots. Links name spans in other causal chains this span
+// amortised — an ingest group commit links every coalesced batch's
+// enqueue span. Err carries the stable apierr code (or a short message)
+// when the operation failed.
+type Span struct {
+	TraceID TraceID       `json:"traceId"`
+	SpanID  SpanID        `json:"spanId"`
+	Parent  SpanID        `json:"parent"`
+	Name    string        `json:"name"`
+	Start   time.Time     `json:"start"`
+	End     time.Time     `json:"end"`
+	Attrs   []Attr        `json:"attrs,omitempty"`
+	Links   []SpanContext `json:"links,omitempty"`
+	Err     string        `json:"err,omitempty"`
+}
+
+// Duration is the span's End - Start.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// ctxKey keys the span context stored in a context.Context.
+type ctxKey struct{}
+
+// ContextWithSpanContext returns a context carrying sc, which Start
+// treats as the parent and transport.Client.Do stamps as the
+// traceparent header. An invalid sc returns ctx unchanged.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanContextFromContext extracts the span context stored by
+// ContextWithSpanContext (or by Tracer.Start); ok is false when the
+// context carries none.
+func SpanContextFromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}

@@ -1,0 +1,360 @@
+package otrace
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apisense/internal/obs"
+)
+
+// testClock is a deterministic clock: every read advances one millisecond.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(time.Millisecond)
+	return c.now
+}
+
+// seqReader yields a deterministic byte stream for trace/span IDs.
+type seqReader struct{ n byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		r.n++
+		p[i] = r.n
+	}
+	return len(p), nil
+}
+
+func newTestTracer(maxTraces int) *Tracer {
+	return New(Config{
+		Clock: (&testClock{now: time.Unix(1000, 0)}).Now,
+		Rand:  &seqReader{},
+		Store: NewSpanStore(maxTraces),
+	})
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpanContext(&seqReader{})
+	if !sc.Valid() {
+		t.Fatal("NewSpanContext from a working reader must be valid")
+	}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent %q: want 55 chars, version 00", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := NewSpanContext(&seqReader{}).Traceparent()
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],                          // truncated
+		"01" + valid[2:],                    // wrong version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("0", 32) + valid[35:],      // zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // zero span ID
+		valid[:10] + "zz" + valid[12:],                    // non-hex
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", h)
+		}
+	}
+}
+
+func TestParentChildPropagation(t *testing.T) {
+	tr := newTestTracer(8)
+	ctx, root := tr.Start(context.Background(), "a.root")
+	ctx2, child := tr.Start(ctx, "a.child")
+	childSC := child.Context()
+	rootSC := root.Context()
+	if childSC.TraceID != rootSC.TraceID {
+		t.Fatalf("child trace %s != root trace %s", childSC.TraceID, rootSC.TraceID)
+	}
+	if got, _ := SpanContextFromContext(ctx2); got != childSC {
+		t.Fatalf("ctx carries %+v, want the child span context %+v", got, childSC)
+	}
+	child.End()
+	root.End()
+	spans, ok := tr.Store().Spans(rootSC.TraceID)
+	if !ok || len(spans) != 2 {
+		t.Fatalf("stored %d spans, ok=%v, want 2", len(spans), ok)
+	}
+	for _, sp := range spans {
+		if sp.Name == "a.child" && sp.Parent != rootSC.SpanID {
+			t.Fatalf("child parent = %s, want %s", sp.Parent, rootSC.SpanID)
+		}
+		if sp.Name == "a.root" && !sp.Parent.IsZero() {
+			t.Fatalf("root has parent %s, want zero", sp.Parent)
+		}
+		if !sp.End.After(sp.Start) {
+			t.Fatalf("span %s has no duration (start %v end %v)", sp.Name, sp.Start, sp.End)
+		}
+	}
+}
+
+func TestStartWithAdoptsIdentity(t *testing.T) {
+	tr := newTestTracer(8)
+	sc := NewSpanContext(&seqReader{n: 100})
+	ctx, sp := tr.StartWith(context.Background(), "b.root", sc)
+	if got := sp.Context(); got != sc {
+		t.Fatalf("StartWith span context = %+v, want the provided %+v", got, sc)
+	}
+	if got, _ := SpanContextFromContext(ctx); got != sc {
+		t.Fatalf("ctx span context = %+v, want %+v", got, sc)
+	}
+	sp.End()
+	if _, ok := tr.Store().Spans(sc.TraceID); !ok {
+		t.Fatal("StartWith span was not stored under the provided trace ID")
+	}
+
+	// An invalid identity falls back to a fresh root.
+	_, sp2 := tr.StartWith(context.Background(), "b.fallback", SpanContext{})
+	if !sp2.Context().Valid() {
+		t.Fatal("StartWith with an invalid sc must mint a fresh valid identity")
+	}
+	sp2.End()
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "x.y")
+	if sp != nil {
+		t.Fatal("nil tracer must return a nil span")
+	}
+	// All ActiveSpan methods must be no-ops on nil.
+	sp.SetAttr(Int("k", 1))
+	sp.SetErr("boom")
+	sp.Link(SpanContext{})
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatal("nil span must report an invalid context")
+	}
+	if _, ok := SpanContextFromContext(ctx); ok {
+		t.Fatal("nil tracer must not install a span context")
+	}
+	if tr.Store() != nil {
+		t.Fatal("nil tracer store must be nil")
+	}
+	var st *SpanStore
+	st.Add(Span{})
+	if st.Len() != 0 || st.Evicted() != 0 {
+		t.Fatal("nil store must be empty")
+	}
+	if got := st.Summaries(); got != nil {
+		t.Fatal("nil store must have no summaries")
+	}
+}
+
+func TestSpanStoreEvictsWholeTraces(t *testing.T) {
+	tr := newTestTracer(3)
+	var ids []TraceID
+	for i := 0; i < 5; i++ {
+		_, sp := tr.Start(context.Background(), fmt.Sprintf("t.%d", i))
+		ids = append(ids, sp.Context().TraceID)
+		sp.End()
+	}
+	st := tr.Store()
+	if st.Len() != 3 {
+		t.Fatalf("store holds %d traces, want the bound 3", st.Len())
+	}
+	if st.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", st.Evicted())
+	}
+	for _, id := range ids[:2] {
+		if _, ok := st.Spans(id); ok {
+			t.Fatalf("oldest trace %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := st.Spans(id); !ok {
+			t.Fatalf("recent trace %s missing", id)
+		}
+	}
+	// Summaries are newest-first.
+	sums := st.Summaries()
+	if len(sums) != 3 || sums[0].TraceID != ids[4] || sums[2].TraceID != ids[2] {
+		t.Fatalf("summaries out of order: %+v", sums)
+	}
+}
+
+func TestSpanStoreBoundsSpansPerTrace(t *testing.T) {
+	st := NewSpanStore(2)
+	var id TraceID
+	id[0] = 1
+	for i := 0; i < DefaultMaxSpansPerTrace+10; i++ {
+		var sid SpanID
+		sid[0] = byte(i + 1)
+		st.Add(Span{TraceID: id, SpanID: sid, Name: "n"})
+	}
+	spans, ok := st.Spans(id)
+	if !ok || len(spans) != DefaultMaxSpansPerTrace {
+		t.Fatalf("trace holds %d spans, want the cap %d", len(spans), DefaultMaxSpansPerTrace)
+	}
+	sums := st.Summaries()
+	if len(sums) != 1 || sums[0].Dropped != 10 {
+		t.Fatalf("summary dropped = %+v, want 10", sums)
+	}
+}
+
+func TestAssembleBuildsNestedTree(t *testing.T) {
+	tr := newTestTracer(4)
+	ctx, root := tr.Start(context.Background(), "r")
+	ctxA, a := tr.Start(ctx, "a")
+	_, a1 := tr.Start(ctxA, "a1")
+	a1.End()
+	a.End()
+	_, b := tr.Start(ctx, "b")
+	b.End()
+	root.End()
+	spans, _ := tr.Store().Spans(root.Context().TraceID)
+	nodes := Assemble(spans)
+	if len(nodes) != 1 || nodes[0].Name != "r" {
+		t.Fatalf("want one root 'r', got %+v", nodes)
+	}
+	kids := nodes[0].Children
+	if len(kids) != 2 || kids[0].Name != "a" || kids[1].Name != "b" {
+		t.Fatalf("root children = %v, want [a b] in start order", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "a1" {
+		t.Fatalf("a's children = %v, want [a1]", kids[0].Children)
+	}
+	// An orphan (parent not in the trace) surfaces as a root, not lost.
+	orphan := Span{TraceID: root.Context().TraceID, Name: "lost"}
+	orphan.SpanID[0] = 0xEE
+	orphan.Parent[0] = 0xDD
+	nodes = Assemble(append(spans, orphan))
+	if len(nodes) != 2 {
+		t.Fatalf("orphan span must become a second root, got %d roots", len(nodes))
+	}
+}
+
+func TestErrAndLinksRecorded(t *testing.T) {
+	tr := newTestTracer(4)
+	other := NewSpanContext(&seqReader{n: 50})
+	_, sp := tr.Start(context.Background(), "e.spam", String("k", "v"))
+	sp.Link(other)
+	sp.SetErr("hive.queue_full")
+	sp.End()
+	spans, _ := tr.Store().Spans(sp.Context().TraceID)
+	got := spans[0]
+	if got.Err != "hive.queue_full" {
+		t.Fatalf("err = %q", got.Err)
+	}
+	if len(got.Links) != 1 || got.Links[0] != other {
+		t.Fatalf("links = %+v, want [%+v]", got.Links, other)
+	}
+	if len(got.Attrs) != 1 || got.Attrs[0] != (Attr{Key: "k", Value: "v"}) {
+		t.Fatalf("attrs = %+v", got.Attrs)
+	}
+}
+
+func TestConcurrentTracingIsRaceFree(t *testing.T) {
+	tr := newTestTracer(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: many goroutines producing nested spans.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.Start(context.Background(), fmt.Sprintf("w%d.root", g))
+				_, child := tr.Start(ctx, fmt.Sprintf("w%d.child", g))
+				child.SetAttr(Int("i", i))
+				child.End()
+				root.End()
+			}
+		}(g)
+	}
+	// Readers: summaries, spans, slowest table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sum := range tr.Store().Summaries() {
+				tr.Store().Spans(sum.TraceID)
+			}
+			tr.Slowest()
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if tr.Store().Len() > 16 {
+		t.Fatalf("store exceeded its bound: %d traces", tr.Store().Len())
+	}
+}
+
+func TestLogHandlerAddsTraceCorrelation(t *testing.T) {
+	tr := newTestTracer(4)
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil)))
+	ctx, sp := tr.Start(context.Background(), "l.op")
+	logger.InfoContext(ctx, "inside span")
+	logger.InfoContext(context.Background(), "outside span")
+	sp.End()
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 records, got %q", out)
+	}
+	want := fmt.Sprintf("%q:%q", "trace_id", sp.Context().TraceID)
+	if !strings.Contains(lines[0], want) || !strings.Contains(lines[0], "span_id") {
+		t.Fatalf("traced record lacks correlation attrs: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "trace_id") {
+		t.Fatalf("untraced record must not carry trace_id: %s", lines[1])
+	}
+}
+
+func TestBindObsExportsSlowestSpans(t *testing.T) {
+	tr := newTestTracer(8)
+	reg := obs.NewRegistry()
+	tr.BindObs(reg)
+	_, sp := tr.Start(context.Background(), "core.publish")
+	sp.End()
+	_, sp2 := tr.Start(context.Background(), "http.GET /api/stats")
+	sp2.End()
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `apisense_trace_slowest_seconds{family="core",trace_id="`+sp.Context().TraceID.String()+`"}`) {
+		t.Fatalf("core family exemplar missing:\n%s", out)
+	}
+	if !strings.Contains(out, `family="http"`) {
+		t.Fatalf("http family exemplar missing:\n%s", out)
+	}
+	// Two consecutive scrapes with no traffic are byte-identical.
+	var buf2 bytes.Buffer
+	if _, err := reg.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("quiesced scrapes differ")
+	}
+}

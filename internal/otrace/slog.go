@@ -1,0 +1,47 @@
+package otrace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// NewLogHandler wraps inner so every record logged through a context
+// that carries a span context (Tracer.Start, ContextWithSpanContext, a
+// traced HTTP request) gains trace_id and span_id attributes — the
+// correlation key between structured logs and GET /debug/traces/{id}.
+// Records logged without a traced context pass through unchanged.
+func NewLogHandler(inner slog.Handler) slog.Handler {
+	return logHandler{inner: inner}
+}
+
+// logHandler is the trace-correlating slog.Handler.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// Enabled defers to the wrapped handler.
+func (h logHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+// Handle appends trace_id/span_id from ctx, then delegates.
+func (h logHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc, ok := SpanContextFromContext(ctx); ok && sc.Valid() {
+		r = r.Clone()
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs wraps the delegate's WithAttrs, preserving correlation.
+func (h logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the delegate's WithGroup, preserving correlation.
+func (h logHandler) WithGroup(name string) slog.Handler {
+	return logHandler{inner: h.inner.WithGroup(name)}
+}

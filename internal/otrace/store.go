@@ -1,0 +1,219 @@
+package otrace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSpansPerTrace caps how many spans one trace retains; spans
+// beyond the cap are counted but dropped, so a runaway instrumented loop
+// cannot grow a single trace without bound.
+const DefaultMaxSpansPerTrace = 512
+
+// SpanStore is a bounded ring buffer of finished spans assembled per
+// trace: when a span of a previously unseen trace arrives and the store
+// already holds its maximum number of traces, the oldest trace is
+// evicted whole. Safe for concurrent use; all methods are nil-safe.
+type SpanStore struct {
+	mu       sync.Mutex
+	max      int
+	maxSpans int
+	traces   map[TraceID]*traceBuf
+	order    []TraceID // arrival order of trace IDs, oldest first
+	evicted  uint64
+}
+
+// traceBuf accumulates one trace's finished spans.
+type traceBuf struct {
+	spans   []Span
+	dropped int
+}
+
+// NewSpanStore creates a store retaining at most maxTraces traces
+// (values <= 0 select DefaultMaxTraces) and DefaultMaxSpansPerTrace
+// spans per trace.
+func NewSpanStore(maxTraces int) *SpanStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	return &SpanStore{
+		max:      maxTraces,
+		maxSpans: DefaultMaxSpansPerTrace,
+		traces:   make(map[TraceID]*traceBuf),
+	}
+}
+
+// Add retains one finished span, evicting the oldest trace when the
+// trace bound is hit. Spans with a zero trace ID are ignored.
+func (s *SpanStore) Add(sp Span) {
+	if s == nil || sp.TraceID.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tb, ok := s.traces[sp.TraceID]
+	if !ok {
+		if len(s.order) >= s.max {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.traces, oldest)
+			s.evicted++
+		}
+		tb = &traceBuf{}
+		s.traces[sp.TraceID] = tb
+		s.order = append(s.order, sp.TraceID)
+	}
+	if len(tb.spans) >= s.maxSpans {
+		tb.dropped++
+		return
+	}
+	tb.spans = append(tb.spans, sp)
+}
+
+// Len reports how many traces are retained.
+func (s *SpanStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Evicted reports how many traces were evicted to keep the bound.
+func (s *SpanStore) Evicted() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// TraceSummary is one row of GET /debug/traces: enough to pick a trace
+// without fetching its full span tree.
+type TraceSummary struct {
+	// TraceID identifies the trace (the {id} of /debug/traces/{id}).
+	TraceID TraceID `json:"traceId"`
+	// Root is the name of the trace's root span; when no root finished
+	// (still in flight, or the root ran in another process) it is the
+	// earliest retained span's name.
+	Root string `json:"root"`
+	// Start is the earliest span start; Seconds spans to the latest end.
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	// Spans counts retained spans; Dropped counts spans shed by the
+	// per-trace cap; Errors counts spans that recorded an Err.
+	Spans   int `json:"spans"`
+	Dropped int `json:"dropped,omitempty"`
+	Errors  int `json:"errors,omitempty"`
+}
+
+// Summaries lists the retained traces, newest first.
+func (s *SpanStore) Summaries() []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSummary, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		id := s.order[i]
+		out = append(out, summarize(id, s.traces[id]))
+	}
+	return out
+}
+
+// summarize folds one trace buffer into its summary row.
+func summarize(id TraceID, tb *traceBuf) TraceSummary {
+	sum := TraceSummary{TraceID: id, Spans: len(tb.spans), Dropped: tb.dropped}
+	var start, end time.Time
+	for i := range tb.spans {
+		sp := &tb.spans[i]
+		if start.IsZero() || sp.Start.Before(start) {
+			start = sp.Start
+		}
+		if sp.End.After(end) {
+			end = sp.End
+		}
+		if sp.Parent.IsZero() && sum.Root == "" {
+			sum.Root = sp.Name
+		}
+		if sp.Err != "" {
+			sum.Errors++
+		}
+	}
+	if sum.Root == "" && len(tb.spans) > 0 {
+		earliest := 0
+		for i := range tb.spans {
+			if tb.spans[i].Start.Before(tb.spans[earliest].Start) {
+				earliest = i
+			}
+		}
+		sum.Root = tb.spans[earliest].Name
+	}
+	sum.Start = start
+	if !end.IsZero() && !start.IsZero() {
+		sum.Seconds = end.Sub(start).Seconds()
+	}
+	return sum
+}
+
+// Spans returns a copy of one trace's retained spans in finish order; ok
+// is false for unknown (or evicted) trace IDs.
+func (s *SpanStore) Spans(id TraceID) ([]Span, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tb, ok := s.traces[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]Span(nil), tb.spans...), true
+}
+
+// SpanNode is one span with its children resolved — the tree form
+// served by GET /debug/traces/{id}.
+type SpanNode struct {
+	Span
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Assemble builds span trees from a flat span list: children attach to
+// their parent span, spans whose parent is absent (trace roots, or
+// children of spans that never finished) become roots. Roots and
+// children are ordered by start time (ties broken by span ID), so the
+// tree is deterministic for a fixed span set.
+func Assemble(spans []Span) []*SpanNode {
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].SpanID] = &SpanNode{Span: spans[i]}
+	}
+	var roots []*SpanNode
+	for i := range spans {
+		n := nodes[spans[i].SpanID]
+		if parent, ok := nodes[n.Parent]; ok && !n.Parent.IsZero() && parent != n {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+// sortNodes orders sibling spans by start time, then span ID.
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if !ns[i].Start.Equal(ns[j].Start) {
+			return ns[i].Start.Before(ns[j].Start)
+		}
+		return ns[i].SpanID.String() < ns[j].SpanID.String()
+	})
+}

@@ -1,0 +1,257 @@
+package otrace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxTraces is the SpanStore bound a Tracer creates for itself
+// when Config.Store is nil.
+const DefaultMaxTraces = 256
+
+// Config parameterises a Tracer. The zero value gets production
+// defaults.
+type Config struct {
+	// Clock supplies span timestamps. nil uses time.Now; determinism
+	// tests inject a fixed or stepping clock so span times never leak
+	// wall-clock nondeterminism into assertions.
+	Clock func() time.Time
+	// Rand supplies ID entropy. nil uses crypto/rand.Reader. Reads are
+	// serialised by the tracer, so a seeded math/rand source is safe to
+	// hand in for reproducible IDs.
+	Rand io.Reader
+	// Store retains finished spans for /debug/traces. nil creates a
+	// NewSpanStore(DefaultMaxTraces) owned by the tracer.
+	Store *SpanStore
+}
+
+// Tracer creates spans and retains them in its SpanStore. One Tracer is
+// shared by every instrumented subsystem of a process (server, ingest
+// queue, hive, engine), which is what joins their spans into one trace.
+//
+// Concurrency: safe for unsynchronised concurrent use. Nil-safety: a
+// nil *Tracer is the disabled tracer — Start returns the context
+// unchanged and a nil span, and no clock is read.
+type Tracer struct {
+	clock func() time.Time
+	store *SpanStore
+
+	idMu sync.Mutex
+	rnd  io.Reader
+
+	slowMu sync.Mutex
+	slow   map[string]SlowSpan
+}
+
+// New builds a Tracer from cfg.
+func New(cfg Config) *Tracer {
+	t := &Tracer{
+		clock: cfg.Clock,
+		rnd:   cfg.Rand,
+		store: cfg.Store,
+		slow:  make(map[string]SlowSpan),
+	}
+	if t.clock == nil {
+		t.clock = time.Now
+	}
+	if t.rnd == nil {
+		t.rnd = crand.Reader
+	}
+	if t.store == nil {
+		t.store = NewSpanStore(DefaultMaxTraces)
+	}
+	return t
+}
+
+// Store returns the tracer's span store (nil on a nil tracer).
+func (t *Tracer) Store() *SpanStore {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// newSpanID draws one span ID under the ID lock (Config.Rand need not be
+// concurrency-safe).
+func (t *Tracer) newSpanID() SpanID {
+	t.idMu.Lock()
+	defer t.idMu.Unlock()
+	var id SpanID
+	if _, err := io.ReadFull(t.rnd, id[:]); err != nil || id.IsZero() {
+		id[0] = 1
+	}
+	return id
+}
+
+// newTraceID draws one trace ID under the ID lock.
+func (t *Tracer) newTraceID() TraceID {
+	t.idMu.Lock()
+	defer t.idMu.Unlock()
+	var id TraceID
+	if _, err := io.ReadFull(t.rnd, id[:]); err != nil || id.IsZero() {
+		id[0] = 1
+	}
+	return id
+}
+
+// Start begins a span named name: a child of the span context carried by
+// ctx, or a new trace root when ctx carries none. The returned context
+// carries the new span's identity for children and header stamping; End
+// the span to retain it. On a nil tracer ctx is returned unchanged with
+// a nil (no-op) span.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := Span{Name: name, Start: t.clock(), Attrs: attrs}
+	if parent, ok := SpanContextFromContext(ctx); ok {
+		sp.TraceID = parent.TraceID
+		sp.Parent = parent.SpanID
+	} else {
+		sp.TraceID = t.newTraceID()
+	}
+	sp.SpanID = t.newSpanID()
+	a := &ActiveSpan{t: t, sp: sp}
+	return ContextWithSpanContext(ctx, SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID}), a
+}
+
+// StartWith begins a trace-root span with a pre-allocated identity —
+// device.BatchUploader draws the identity from its seeded rng so the
+// span (and the traceparent header of every retry) is reproducible. An
+// invalid sc falls back to Start semantics.
+func (t *Tracer) StartWith(ctx context.Context, name string, sc SpanContext, attrs ...Attr) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ContextWithSpanContext(ctx, sc), nil
+	}
+	if !sc.Valid() {
+		return t.Start(ctx, name, attrs...)
+	}
+	sp := Span{TraceID: sc.TraceID, SpanID: sc.SpanID, Name: name, Start: t.clock(), Attrs: attrs}
+	a := &ActiveSpan{t: t, sp: sp}
+	return ContextWithSpanContext(ctx, sc), a
+}
+
+// finish retains one ended span and refreshes the slowest-span table.
+func (t *Tracer) finish(sp Span) {
+	t.store.Add(sp)
+	fam := spanFamily(sp.Name)
+	secs := sp.Duration().Seconds()
+	t.slowMu.Lock()
+	if cur, ok := t.slow[fam]; !ok || secs > cur.Seconds {
+		t.slow[fam] = SlowSpan{TraceID: sp.TraceID, Name: sp.Name, Seconds: secs}
+	}
+	t.slowMu.Unlock()
+}
+
+// spanFamily maps a span name to its stage family: the prefix up to the
+// first dot ("store.append" -> "store"), or the whole name.
+func spanFamily(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// SlowSpan records the slowest finished span seen in one stage family —
+// the exemplar an operator follows from a histogram regression to
+// GET /debug/traces/{id}.
+type SlowSpan struct {
+	// TraceID is the trace the slow span belongs to.
+	TraceID TraceID `json:"traceId"`
+	// Name is the full span name ("store.append").
+	Name string `json:"name"`
+	// Seconds is the span duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Slowest snapshots the slowest-span-per-family table (family = span
+// name up to the first dot). Empty map on a nil tracer.
+func (t *Tracer) Slowest() map[string]SlowSpan {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	out := make(map[string]SlowSpan, len(t.slow))
+	for k, v := range t.slow {
+		out[k] = v
+	}
+	return out
+}
+
+// ActiveSpan is a span in progress, created by Tracer.Start and finished
+// by End. All methods are nil-safe no-ops and safe for concurrent use.
+type ActiveSpan struct {
+	t    *Tracer
+	mu   sync.Mutex
+	sp   Span
+	done bool
+}
+
+// Context returns the span's identity (zero on a nil span).
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.sp.TraceID, SpanID: a.sp.SpanID}
+}
+
+// SetAttr appends attributes to the span.
+func (a *ActiveSpan) SetAttr(attrs ...Attr) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if !a.done {
+		a.sp.Attrs = append(a.sp.Attrs, attrs...)
+	}
+	a.mu.Unlock()
+}
+
+// Link records a causal link to another span — an ingest group commit
+// links every batch span it amortised. Invalid contexts are ignored.
+func (a *ActiveSpan) Link(sc SpanContext) {
+	if a == nil || !sc.Valid() {
+		return
+	}
+	a.mu.Lock()
+	if !a.done {
+		a.sp.Links = append(a.sp.Links, sc)
+	}
+	a.mu.Unlock()
+}
+
+// SetErr marks the span failed with a stable code (an apierr code, or a
+// short static message). Empty codes are ignored.
+func (a *ActiveSpan) SetErr(code string) {
+	if a == nil || code == "" {
+		return
+	}
+	a.mu.Lock()
+	if !a.done {
+		a.sp.Err = code
+	}
+	a.mu.Unlock()
+}
+
+// End stamps the end time and retains the span in the tracer's store.
+// Idempotent: only the first call takes effect.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.done = true
+	a.sp.End = a.t.clock()
+	sp := a.sp
+	a.mu.Unlock()
+	a.t.finish(sp)
+}

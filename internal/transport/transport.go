@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"apisense/internal/apierr"
+	"apisense/internal/otrace"
 )
 
 // Region is a recruitment area: devices whose last known position falls
@@ -221,7 +222,9 @@ func parseRetryAfter(h string) time.Duration {
 
 // Do performs a JSON request. in may be nil (no body); out may be nil
 // (response discarded). Requests are retried on transport errors and 5xx
-// responses.
+// responses. When ctx carries a span context (otrace), every attempt is
+// stamped with the matching W3C traceparent header, so server-side spans
+// join the caller's trace.
 func (c *Client) Do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -246,6 +249,9 @@ func (c *Client) Do(ctx context.Context, method, path string, in, out any) error
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if sc, ok := otrace.SpanContextFromContext(ctx); ok && sc.Valid() {
+			req.Header.Set("traceparent", sc.Traceparent())
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
